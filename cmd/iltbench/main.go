@@ -1,0 +1,143 @@
+// Command iltbench regenerates the paper's tables and figures on the
+// synthetic evaluation suite. Experiments:
+//
+//	table1   — the Table 1 method comparison (L2 / PVBand / Stitch / TAT)
+//	fig6     — weighted smoothing (Eq. 14) vs hard RAS (Eq. 6) assembly
+//	fig7     — stitch-and-heal leaves errors at its new boundaries
+//	fig8     — count of stitch errors above the threshold per method
+//	speedup  — multigrid-Schwarz TAT on 1..K simulated devices
+//	penalty  — Section 2.3 tile-assembly L2 penalty
+//	ablation — design-choice sweep of the multigrid-Schwarz flow
+//	mrc      — manufacturability-rule violations at stitch lines
+//	all      — everything above
+//
+// Scale is selected with -scale (small | default | full); "full" is
+// the paper-shaped 20-clip run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mgsilt/internal/bench"
+	"mgsilt/internal/report"
+)
+
+func main() {
+	var (
+		scaleName  = flag.String("scale", "small", "experiment scale: small | default | full")
+		experiment = flag.String("experiment", "table1", "table1 | fig6 | fig7 | fig8 | speedup | penalty | ablation | mrc | all")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		verbose    = flag.Bool("v", false, "print per-run progress")
+		devices    = flag.Int("devices", 4, "maximum simulated devices for the speedup sweep")
+	)
+	flag.Parse()
+
+	var scale bench.Scale
+	switch *scaleName {
+	case "small":
+		scale = bench.ScaleSmall
+	case "default":
+		scale = bench.ScaleDefault
+	case "full":
+		scale = bench.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "iltbench: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	progress := func(string) {}
+	if *verbose {
+		progress = func(s string) { fmt.Fprintf(os.Stderr, "... %s\n", s) }
+	}
+
+	env, err := bench.NewEnv(scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	emit := func(title string, tab *report.Table) {
+		fmt.Printf("== %s (scale=%s, N=%d, clip=%d, %d cases, %d iters)\n",
+			title, scale.Name, scale.N, scale.Clip, scale.Cases, scale.Iters)
+		var err error
+		if *csv {
+			err = tab.FprintCSV(os.Stdout)
+		} else {
+			err = tab.Fprint(os.Stdout)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+
+	run := func(name string) {
+		switch name {
+		case "table1":
+			res, err := env.RunTable1(progress)
+			if err != nil {
+				fatal(err)
+			}
+			emit("Table 1: method comparison", res.Render())
+		case "fig6":
+			res, err := env.RunFig6(progress)
+			if err != nil {
+				fatal(err)
+			}
+			emit("Fig. 6: weighted smoothing ablation", res.Render())
+		case "fig7":
+			res, err := env.RunFig7(progress)
+			if err != nil {
+				fatal(err)
+			}
+			emit("Fig. 7: stitch-and-heal critique", res.Render())
+		case "fig8":
+			res, err := env.RunFig8(progress)
+			if err != nil {
+				fatal(err)
+			}
+			emit("Fig. 8: stitch errors above threshold", res.Render())
+		case "speedup":
+			res, err := env.RunSpeedup(*devices, 2, progress)
+			if err != nil {
+				fatal(err)
+			}
+			emit("Section 4: parallel speedup", res.Render())
+		case "penalty":
+			res, err := env.RunPenalty(progress)
+			if err != nil {
+				fatal(err)
+			}
+			emit("Section 2.3: tile-assembly penalty", res.Render())
+		case "ablation":
+			res, err := env.RunAblations(progress)
+			if err != nil {
+				fatal(err)
+			}
+			emit("Ablations: multigrid-Schwarz design choices", res.Render())
+		case "mrc":
+			res, err := env.RunMRC(progress)
+			if err != nil {
+				fatal(err)
+			}
+			emit("MRC: rule violations at stitch lines", res.Render())
+		default:
+			fmt.Fprintf(os.Stderr, "iltbench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	if *experiment == "all" {
+		for _, name := range []string{"table1", "fig6", "fig7", "fig8", "speedup", "penalty", "ablation", "mrc"} {
+			run(name)
+		}
+		return
+	}
+	run(*experiment)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "iltbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,139 @@
+// Command iltrun executes one ILT flow on one synthetic clip and
+// reports the paper's metrics, optionally dumping mask/wafer/target
+// images and a Fig. 8-style stitch-error overlay.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mgsilt/internal/core"
+	"mgsilt/internal/device"
+	"mgsilt/internal/grid"
+	"mgsilt/internal/imgio"
+	"mgsilt/internal/kernels"
+	"mgsilt/internal/layout"
+	"mgsilt/internal/litho"
+	"mgsilt/internal/metrics"
+	"mgsilt/internal/opt"
+)
+
+func main() {
+	var (
+		method  = flag.String("method", "ours", "ours | dc-multilevel | dc-gls | fullchip | heal")
+		n       = flag.Int("n", 128, "native simulator grid size (power of two)")
+		seed    = flag.Int64("seed", 1, "clip generator seed")
+		rects   = flag.String("rects", "", "optional .rects geometry file to optimise instead of a generated clip")
+		iters   = flag.Int("iters", 100, "baseline iteration budget")
+		devices = flag.Int("devices", 1, "simulated devices")
+		outDir  = flag.String("out", "", "directory for PNG dumps (optional)")
+	)
+	flag.Parse()
+
+	kc := kernels.DefaultConfig(*n)
+	nom, err := kernels.Generate(kc)
+	if err != nil {
+		fatal(err)
+	}
+	def, err := kernels.Defocused(kc, 0.8)
+	if err != nil {
+		fatal(err)
+	}
+	sim, err := litho.New(nom, def, litho.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+
+	clipSize := 2 * *n
+	var clip *layout.Clip
+	if *rects != "" {
+		f, err := os.Open(*rects)
+		if err != nil {
+			fatal(err)
+		}
+		clip, err = layout.ReadRects(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if clip.Target.H != clipSize {
+			fatal(fmt.Errorf("rects clip is %d px, need %d (= 2N)", clip.Target.H, clipSize))
+		}
+	} else {
+		var err error
+		clip, err = layout.Generate(layout.DefaultConfig(clipSize, *seed))
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	cfg := core.DefaultConfig(sim, clipSize, *iters)
+	cfg.Cluster, err = device.NewCluster(*devices, 0)
+	if err != nil {
+		fatal(err)
+	}
+
+	var res *core.Result
+	switch *method {
+	case "ours":
+		res, err = core.MultigridSchwarz(cfg, clip.Target)
+	case "dc-multilevel":
+		cfg.Solver = opt.NewMultiLevel(sim)
+		res, err = core.DivideAndConquer(cfg, clip.Target)
+	case "dc-gls":
+		cfg.Solver = opt.NewLevelSet(sim)
+		res, err = core.DivideAndConquer(cfg, clip.Target)
+	case "fullchip":
+		ml := opt.NewMultiLevel(sim)
+		ml.Levels = 3
+		cfg.Solver = ml
+		res, err = core.FullChip(cfg, clip.Target)
+	case "heal":
+		cfg.Solver = opt.NewMultiLevel(sim)
+		res, err = core.StitchAndHeal(cfg, clip.Target)
+	default:
+		fmt.Fprintf(os.Stderr, "iltrun: unknown method %q\n", *method)
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("method       : %s\n", res.Method)
+	fmt.Printf("clip         : %s (seed %d, %dx%d, area %d px)\n", clip.ID, clip.Seed, clipSize, clipSize, clip.AreaPx())
+	fmt.Printf("L2           : %.0f\n", res.L2)
+	fmt.Printf("PVBand       : %.0f\n", res.PVBand)
+	fmt.Printf("stitch loss  : %.1f over %d crossings (max %.1f)\n", res.StitchLoss, len(res.Errors), metrics.MaxLoss(res.Errors))
+	fmt.Printf("errors > %.0f : %d\n", cfg.StitchThreshold, metrics.CountAbove(res.Errors, cfg.StitchThreshold))
+	fmt.Printf("TAT          : %v (devices: %d, device busy: %v)\n", res.TAT.Round(1e6), *devices, res.Stats.TotalBusy.Round(1e6))
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		binary := res.Mask.Binarize(0.5)
+		dumps := []struct {
+			name string
+			m    *grid.Mat
+		}{
+			{"target.png", clip.Target},
+			{"mask.png", binary},
+			{"wafer.png", sim.Wafer(binary, sim.Nominal())},
+			{"overlay.png", imgio.Overlay(binary, res.Errors, cfg.StitchThreshold, cfg.Stitch.Window/2)},
+		}
+		for _, d := range dumps {
+			path := filepath.Join(*outDir, d.name)
+			if err := imgio.SavePNG(path, d.m); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "iltrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,11 @@
+// Package mgsilt is a pure-Go reproduction of "Efficient ILT via
+// Multigrid-Schwartz Method" (Sun et al., DAC 2024).
+//
+// The library lives under internal/ (see README.md for the package
+// map); the public surface of this repository is its executables
+// (cmd/...), its runnable examples (examples/...), and the root
+// benchmarks in bench_test.go that regenerate every table and figure
+// of the paper's evaluation. DESIGN.md documents the system inventory
+// and the substitutions made for proprietary dependencies;
+// EXPERIMENTS.md records paper-vs-measured outcomes.
+package mgsilt

@@ -1,0 +1,3 @@
+module mgsilt
+
+go 1.22

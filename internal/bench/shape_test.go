@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// TestTable1ShapeSmall is the end-to-end acceptance test: at the small
+// scale with fixed seeds, the method orderings that Table 1 rests on
+// must hold. Skipped in -short runs (it optimises 3 clips × 4 methods).
+func TestTable1ShapeSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if os.Getenv("ILT_SKIP_SHAPE") != "" {
+		t.Skip("ILT_SKIP_SHAPE set")
+	}
+	env, err := NewEnv(ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := env.RunTable1(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := map[string]int{}
+	for i, m := range res.Methods {
+		avg[m] = i
+	}
+	gls := res.Average[avg["GLS-ILT"]]
+	ml := res.Average[avg["Multi-level-ILT"]]
+	fc := res.Average[avg["Full-chip"]]
+	ours := res.Average[avg["Ours"]]
+	t.Logf("gls=%+v ml=%+v fc=%+v ours=%+v", gls, ml, fc, ours)
+
+	if !(gls.Stitch < ml.Stitch) {
+		t.Errorf("GLS stitch %v should undercut Multi-level %v", gls.Stitch, ml.Stitch)
+	}
+	if !(ours.Stitch < ml.Stitch) {
+		t.Errorf("Ours stitch %v should undercut Multi-level D&C %v", ours.Stitch, ml.Stitch)
+	}
+	if !(ours.L2 < ml.L2) {
+		t.Errorf("Ours L2 %v should undercut Multi-level D&C %v", ours.L2, ml.L2)
+	}
+	if !(fc.Stitch < ml.Stitch) {
+		t.Errorf("Full-chip stitch %v should undercut Multi-level D&C %v", fc.Stitch, ml.Stitch)
+	}
+	if !(ours.TATSec < gls.TATSec) {
+		t.Errorf("Ours TAT %v should undercut GLS %v", ours.TATSec, gls.TATSec)
+	}
+}

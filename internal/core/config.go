@@ -1,0 +1,217 @@
+// Package core implements the paper's contribution — the
+// multigrid-Schwarz full-chip ILT framework of Section 3 — together
+// with the flows it is evaluated against in Section 4:
+//
+//   - MultigridSchwarz: coarse-grid ILT (Algorithm 1) → staged
+//     fine-grid ILT with modified-RAS boundary refresh and weighted
+//     smoothing assembly (Section 3.3) → multi-colour multiplicative
+//     Schwarz refinement (Section 3.4).
+//   - DivideAndConquer: the traditional baseline — tiles optimised
+//     independently to convergence and assembled with Eq. (6).
+//   - FullChip: whole-clip ILT without partitioning (the quality
+//     reference of Table 1).
+//   - StitchAndHeal: the re-optimise-the-boundary baseline of [6],
+//     which Fig. 7 shows merely moves stitch errors to the healing
+//     windows' own edges.
+//
+// All flows share one evaluation path (final inspection with Eq. (3)
+// full-area simulation on the binarised mask, as in the paper) and one
+// device/cluster abstraction for parallelism measurements.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mgsilt/internal/device"
+	"mgsilt/internal/fft"
+	"mgsilt/internal/grid"
+	"mgsilt/internal/litho"
+	"mgsilt/internal/metrics"
+	"mgsilt/internal/opt"
+	"mgsilt/internal/tile"
+)
+
+// Config describes one experiment setup: the optics, the solver φ(·),
+// the tiling geometry and the iteration schedule of Section 4.
+type Config struct {
+	Sim     *litho.Simulator
+	Solver  opt.Solver      // φ(·); nil → opt.NewPixel(Sim)
+	Cluster *device.Cluster // nil → single device, unlimited memory
+
+	ClipSize   int // layout side (power-of-two multiple of Sim.N())
+	TileSize   int // tile side (the paper uses Sim.N())
+	Margin     int // l: overlap between adjacent tiles is 2l
+	BlendWidth int // D of Eq. (13); even, ≤ 2·Margin; 0 = hard RAS
+
+	// Iteration schedule (the paper's single-GPU run uses 60 coarse,
+	// 40 fine in 2 stages, 4 refine; baselines use 100).
+	CoarseScale int // s_max of Algorithm 1 (power of two; 0 or 1 disables)
+	CoarseIters int
+	FineIters   int // total across all stages
+	FineStages  int
+	RefineIters int // multiplicative sweeps
+	// RefineVisitIters is the number of solver iterations per tile per
+	// colour visit during refine; RefinePlain selects plain normalised
+	// gradient steps instead of the solver's adaptive optimiser.
+	RefineVisitIters int
+	RefinePlain      bool
+	BaselineIters    int // per-tile iterations for D&C / full-chip / healing
+
+	LR       float64 // solver learning rate
+	RefineLR float64 // small learning rate of the refine pass
+	PVWeight float64 // process-window weight in the objective
+
+	Stitch          metrics.StitchConfig
+	StitchThreshold float64 // per-crossing error threshold (Fig. 8 red boxes)
+
+	// HealBand is the half-width of the band pasted back by the
+	// stitch-and-heal flow; its edges become the new partition
+	// boundaries of Fig. 7. Defaults to Margin.
+	HealBand int
+
+	// CoarseClean is the radius of the morphological open/close pass
+	// applied to the binarised coarse-grid hand-off. The factor-s lift
+	// turns coarse-pixel SRAF speckles into sub-resolution debris that
+	// cannot print but pollutes the fine solver's starting point; an
+	// opening of radius r removes features thinner than 2r+1 px.
+	// 0 disables cleaning.
+	CoarseClean int
+}
+
+// DefaultConfig returns the experiment configuration used throughout
+// the suite, scaled from the paper's geometry: tile = N, margin = N/4
+// (overlap 2l = N/2), 3×3 tiles on a 2N clip, iteration schedule
+// 60/40(2 stages)/4 scaled by the ratio iters/100.
+func DefaultConfig(sim *litho.Simulator, clipSize, iters int) Config {
+	n := sim.N()
+	scale := func(x int) int {
+		v := x * iters / 100
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	stitch := metrics.DefaultStitchConfig()
+	if w := clipSize / 32; w < stitch.Window {
+		// Keep windows proportional on reduced grids (40 px at the
+		// paper's 4096-per-clip scale ≈ clip/102; clip/32 is generous
+		// enough to capture the jag neighbourhood).
+		stitch.Window = max(8, w)
+	}
+	return Config{
+		Sim:        sim,
+		ClipSize:   clipSize,
+		TileSize:   n,
+		Margin:     n / 4,
+		BlendWidth: n / 2, // full-overlap feathering measured best
+
+		CoarseScale:      2,
+		CoarseIters:      scale(60),
+		FineIters:        max(scale(40), 2),
+		FineStages:       2,
+		RefineIters:      scale(4),
+		RefineVisitIters: 2,
+		BaselineIters:    iters,
+		LR:               0.4,
+		RefineLR:         0.08,
+		PVWeight:         0,
+		Stitch:           stitch,
+		StitchThreshold:  5,
+		HealBand:         n / 4,
+		CoarseClean:      2,
+	}
+}
+
+// Validate checks the configuration for consistency.
+func (c *Config) Validate() error {
+	if c.Sim == nil {
+		return fmt.Errorf("core: Sim is required")
+	}
+	n := c.Sim.N()
+	if c.ClipSize < n || c.ClipSize%n != 0 || !fft.IsPow2(c.ClipSize/n) {
+		return fmt.Errorf("core: clip %d is not a power-of-two multiple of N=%d", c.ClipSize, n)
+	}
+	if c.TileSize%n != 0 || !fft.IsPow2(c.TileSize/n) {
+		return fmt.Errorf("core: tile %d is not a power-of-two multiple of N=%d", c.TileSize, n)
+	}
+	if _, err := tile.Part(c.ClipSize, c.ClipSize, c.TileSize, c.Margin); err != nil {
+		return err
+	}
+	if c.BlendWidth < 0 || c.BlendWidth > 2*c.Margin || c.BlendWidth%2 != 0 {
+		return fmt.Errorf("core: blend width %d invalid for margin %d", c.BlendWidth, c.Margin)
+	}
+	if c.CoarseScale != 0 && (!fft.IsPow2(c.CoarseScale) || c.CoarseScale*c.TileSize > c.ClipSize) {
+		return fmt.Errorf("core: coarse scale %d invalid for clip %d / tile %d", c.CoarseScale, c.ClipSize, c.TileSize)
+	}
+	if c.FineStages < 1 || c.FineIters < c.FineStages {
+		return fmt.Errorf("core: fine schedule %d iters / %d stages invalid", c.FineIters, c.FineStages)
+	}
+	if c.CoarseIters < 0 || c.RefineIters < 0 || c.BaselineIters < 1 {
+		return fmt.Errorf("core: negative or zero iteration counts")
+	}
+	if c.RefineIters > 0 && c.RefineVisitIters < 1 {
+		return fmt.Errorf("core: RefineVisitIters must be >= 1 when refining")
+	}
+	if c.LR <= 0 || c.RefineLR <= 0 {
+		return fmt.Errorf("core: learning rates must be positive")
+	}
+	if c.HealBand < 1 || c.HealBand >= c.TileSize/2 {
+		return fmt.Errorf("core: heal band %d out of range", c.HealBand)
+	}
+	return nil
+}
+
+func (c *Config) solver() opt.Solver {
+	if c.Solver != nil {
+		return c.Solver
+	}
+	return opt.NewPixel(c.Sim)
+}
+
+func (c *Config) cluster() *device.Cluster {
+	if c.Cluster != nil {
+		return c.Cluster
+	}
+	cl, err := device.NewCluster(1, 0)
+	if err != nil {
+		panic(err) // unreachable: arguments are static
+	}
+	return cl
+}
+
+// Result is the outcome of one flow on one clip, carrying the Table 1
+// columns plus the artefacts the figure benches need.
+type Result struct {
+	Method string
+	Mask   *grid.Mat // final continuous mask
+
+	L2         float64 // Definition 2
+	PVBand     float64 // Definition 3
+	StitchLoss float64 // Definition 1, on the partition's stitch lines
+	Errors     []metrics.StitchError
+	TAT        time.Duration // optimisation wall time (excludes inspection)
+	Area       float64       // target area in pixels
+
+	Lines    []tile.StitchLine // stitch lines evaluated
+	AuxLines []tile.StitchLine // extra boundaries (stitch-and-heal windows)
+	Stats    device.Stats      // cluster accounting snapshot
+}
+
+// evaluate runs the paper's final inspection: binarise the mask and
+// simulate the entire clip with Eq. (3), then measure Definitions 1-3.
+func (c *Config) evaluate(method string, mask, target *grid.Mat, lines []tile.StitchLine, tat time.Duration, cl *device.Cluster) *Result {
+	binary := mask.Binarize(0.5)
+	res := &Result{
+		Method: method,
+		Mask:   mask,
+		L2:     metrics.L2(c.Sim, binary, target),
+		PVBand: metrics.PVBand(c.Sim, binary),
+		TAT:    tat,
+		Area:   target.Sum(),
+		Lines:  lines,
+	}
+	res.StitchLoss, res.Errors = metrics.StitchLoss(binary, lines, c.Stitch)
+	res.Stats = cl.Stats()
+	return res
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"mgsilt/internal/device"
+	"mgsilt/internal/filter"
+	"mgsilt/internal/grid"
+	"mgsilt/internal/opt"
+	"mgsilt/internal/tile"
+)
+
+// solveTiles optimises the selected tiles of the current layout m
+// against target on the cluster and returns the per-tile solutions
+// (indexed like p.Tiles; unselected entries are nil). Each tile is
+// cropped from the *current* layout, so margins carry the neighbours'
+// latest values — the modified-Schwarz boundary condition of Eq. (11).
+func (c *Config) solveTiles(cl *device.Cluster, p *tile.Partition, m, target *grid.Mat, params opt.Params, indices []int, freeze []*grid.Mat) ([]*grid.Mat, error) {
+	if indices == nil {
+		indices = make([]int, len(p.Tiles))
+		for i := range indices {
+			indices[i] = i
+		}
+	}
+	solver := c.solver()
+	out := make([]*grid.Mat, len(p.Tiles))
+	var mu sync.Mutex
+	jobs := make([]device.Job, 0, len(indices))
+	for _, idx := range indices {
+		s := p.Tiles[idx]
+		init := m.Crop(s.Y0, s.X0, p.Tile, p.Tile)
+		tgt := target.Crop(s.Y0, s.X0, p.Tile, p.Tile)
+		tileParams := params
+		if freeze != nil {
+			tileParams.Freeze = freeze[idx]
+		}
+		jobs = append(jobs, device.Job{
+			Pixels: p.Tile * p.Tile,
+			Work: func(int) error {
+				u, err := solver.Solve(tgt, init, tileParams)
+				if err != nil {
+					return fmt.Errorf("core: tile %d: %w", s.Index, err)
+				}
+				mu.Lock()
+				out[s.Index] = u
+				mu.Unlock()
+				return nil
+			},
+		})
+	}
+	if err := cl.Run(jobs); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// solveCoarseTiles is solveTiles for one coarse grid of Algorithm 1:
+// tiles of size s·TileSize are downsampled by s before optimisation
+// (lines 8-10) so they fit on one device, and the solutions are lifted
+// back to the fine grid bilinearly.
+func (c *Config) solveCoarseTiles(cl *device.Cluster, p *tile.Partition, m, target *grid.Mat, s int, params opt.Params) ([]*grid.Mat, error) {
+	solver := c.solver()
+	out := make([]*grid.Mat, len(p.Tiles))
+	var mu sync.Mutex
+	jobs := make([]device.Job, 0, len(p.Tiles))
+	solvedSize := p.Tile / s
+	for _, spec := range p.Tiles {
+		spec := spec
+		init := m.Crop(spec.Y0, spec.X0, p.Tile, p.Tile).Downsample(s)
+		tgt := target.Crop(spec.Y0, spec.X0, p.Tile, p.Tile).Downsample(s)
+		jobs = append(jobs, device.Job{
+			Pixels: solvedSize * solvedSize, // the downsampled working set
+			Work: func(int) error {
+				u, err := solver.Solve(tgt, init, params)
+				if err != nil {
+					return fmt.Errorf("core: coarse tile %d: %w", spec.Index, err)
+				}
+				mu.Lock()
+				out[spec.Index] = u.UpsampleBilinear(s)
+				mu.Unlock()
+				return nil
+			},
+		})
+	}
+	if err := cl.Run(jobs); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MultigridSchwarz runs the paper's full flow on one target clip:
+// Algorithm 1 coarse grids, the staged fine-grid modified additive
+// Schwarz of Section 3.3 with Eq. (14) weighted assembly, and the
+// multi-colour multiplicative refine of Section 3.4.
+func MultigridSchwarz(cfg Config, target *grid.Mat) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if target.H != cfg.ClipSize || target.W != cfg.ClipSize {
+		return nil, fmt.Errorf("core: target %dx%d does not match clip %d", target.H, target.W, cfg.ClipSize)
+	}
+	c := &cfg
+	cl := c.cluster()
+	simStart := cl.Stats().SimElapsed
+
+	// Algorithm 1, line 4: M ← Z_t.
+	m := target.Clone()
+
+	// Coarse grids: s = s_max, s_max/2, ..., 2. Stitch errors are not
+	// addressed here (line 12 uses the plain Eq. (6) assembly); the
+	// fine grid fixes them.
+	levels := 0
+	for s := cfg.CoarseScale; s >= 2; s /= 2 {
+		levels++
+	}
+	for s := cfg.CoarseScale; s >= 2; s /= 2 {
+		coarseTile := s * cfg.TileSize
+		p, err := tile.Part(cfg.ClipSize, cfg.ClipSize, coarseTile, s*cfg.Margin)
+		if err != nil {
+			return nil, fmt.Errorf("core: coarse grid s=%d: %w", s, err)
+		}
+		iters := cfg.CoarseIters / levels
+		if iters < 1 {
+			iters = 1
+		}
+		params := opt.Params{Iters: iters, LR: cfg.LR, Stretch: s, PVWeight: cfg.PVWeight}
+		tiles, err := c.solveCoarseTiles(cl, p, m, target, s, params)
+		if err != nil {
+			return nil, err
+		}
+		w, err := p.Weights(0) // Eq. (6)
+		if err != nil {
+			return nil, err
+		}
+		m = p.Assemble(tiles, w)
+		// Hand a manufacturable (binary) mask to the next grid: the
+		// bilinear lift leaves gray, wobbly edges that the fine solver
+		// would otherwise spend its whole budget re-sharpening.
+		m.BinarizeInPlace(0.5)
+		if r := cfg.CoarseClean; r > 0 {
+			m = filter.Close(filter.Open(m, r), r)
+		}
+	}
+
+	// Fine grid: staged modified additive Schwarz with weighted
+	// smoothing assembly (Eq. 14). Tiles are re-cropped from the
+	// assembled layout between stages so margins see their neighbours'
+	// latest cores (Eq. 11).
+	p, err := tile.Part(cfg.ClipSize, cfg.ClipSize, cfg.TileSize, cfg.Margin)
+	if err != nil {
+		return nil, err
+	}
+	weights, err := p.Weights(cfg.BlendWidth)
+	if err != nil {
+		return nil, err
+	}
+	// The Eq. (11) Dirichlet masks: each tile may update its core plus
+	// half the blend band; beyond that it holds the neighbours' data.
+	freeze := p.FreezeMasks(cfg.BlendWidth / 2)
+	perStage := cfg.FineIters / cfg.FineStages
+	extra := cfg.FineIters - perStage*cfg.FineStages
+	for stage := 0; stage < cfg.FineStages; stage++ {
+		iters := perStage
+		if stage == 0 {
+			iters += extra
+		}
+		params := opt.Params{Iters: iters, LR: cfg.LR, Stretch: 1, PVWeight: cfg.PVWeight}
+		tiles, err := c.solveTiles(cl, p, m, target, params, nil, freeze)
+		if err != nil {
+			return nil, err
+		}
+		m = p.Assemble(tiles, weights)
+	}
+
+	// Refine: multi-colour multiplicative Schwarz. Same-colour tiles
+	// never overlap, so they run in parallel; colours run sequentially
+	// so each colour sees the previous colours' updates.
+	colors := p.Colors()
+	for it := 0; it < cfg.RefineIters; it++ {
+		for _, group := range colors {
+			params := opt.Params{Iters: cfg.RefineVisitIters, LR: cfg.RefineLR, Stretch: 1, PVWeight: cfg.PVWeight, Plain: cfg.RefinePlain}
+			sols, err := c.solveTiles(cl, p, m, target, params, group, freeze)
+			if err != nil {
+				return nil, err
+			}
+			for _, idx := range group {
+				p.BlendInto(m, sols[idx], weights[idx], idx)
+			}
+		}
+	}
+
+	tat := cl.Stats().SimElapsed - simStart
+	return c.evaluate("multigrid-schwarz", m, target, p.StitchLines(), tat, cl), nil
+}
+
+// DivideAndConquer runs the traditional baseline: every tile optimised
+// independently to its full budget, assembled once with the hard RAS
+// operator of Eq. (6). Margins never see their neighbours, which is
+// what produces the Fig. 1/Fig. 3 stitch discontinuities.
+func DivideAndConquer(cfg Config, target *grid.Mat) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if target.H != cfg.ClipSize || target.W != cfg.ClipSize {
+		return nil, fmt.Errorf("core: target %dx%d does not match clip %d", target.H, target.W, cfg.ClipSize)
+	}
+	c := &cfg
+	cl := c.cluster()
+	simStart := cl.Stats().SimElapsed
+	p, err := tile.Part(cfg.ClipSize, cfg.ClipSize, cfg.TileSize, cfg.Margin)
+	if err != nil {
+		return nil, err
+	}
+	params := opt.Params{Iters: cfg.BaselineIters, LR: cfg.LR, Stretch: 1, PVWeight: cfg.PVWeight}
+	tiles, err := c.solveTiles(cl, p, target, target, params, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	w, err := p.Weights(0)
+	if err != nil {
+		return nil, err
+	}
+	m := p.Assemble(tiles, w)
+	tat := cl.Stats().SimElapsed - simStart
+	name := "divide-and-conquer/" + c.solver().Name()
+	return c.evaluate(name, m, target, p.StitchLines(), tat, cl), nil
+}
+
+// FullChip optimises the whole clip at once (no partitioning) — the
+// Table 1 quality reference. Like the paper we charge no communication
+// overhead: the single job runs with unlimited memory regardless of
+// the cluster's per-device capacity ("the runtime ... is calculated
+// under ideal conditions").
+func FullChip(cfg Config, target *grid.Mat) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if target.H != cfg.ClipSize || target.W != cfg.ClipSize {
+		return nil, fmt.Errorf("core: target %dx%d does not match clip %d", target.H, target.W, cfg.ClipSize)
+	}
+	c := &cfg
+	cl := c.cluster()
+	simStart := cl.Stats().SimElapsed
+	params := opt.Params{Iters: cfg.BaselineIters, LR: cfg.LR, Stretch: 1, PVWeight: cfg.PVWeight}
+	// One ideal job: the paper charges full-chip ILT no communication
+	// overhead and assumes a device large enough to hold the clip, so
+	// the job bypasses the per-device memory gate by construction
+	// (Pixels = 0 always fits).
+	var m *grid.Mat
+	job := device.Job{Work: func(int) error {
+		var err error
+		m, err = c.solver().Solve(target, target, params)
+		return err
+	}}
+	if err := cl.Run([]device.Job{job}); err != nil {
+		return nil, err
+	}
+	tat := cl.Stats().SimElapsed - simStart
+	// Stitch loss is still measured on the tile geometry's lines, as
+	// the paper does (full-chip has a non-zero baseline from ordinary
+	// contour wiggle crossing those positions).
+	p, err := tile.Part(cfg.ClipSize, cfg.ClipSize, cfg.TileSize, cfg.Margin)
+	if err != nil {
+		return nil, err
+	}
+	return c.evaluate("full-chip", m, target, p.StitchLines(), tat, cl), nil
+}

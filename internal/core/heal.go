@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"mgsilt/internal/device"
+	"mgsilt/internal/grid"
+	"mgsilt/internal/opt"
+	"mgsilt/internal/tile"
+)
+
+// StitchAndHeal reproduces the 'stitch-and-heal' methodology of [6]
+// that Fig. 7 critiques: after a divide-and-conquer pass, windows of
+// tile size are centred on every stitch line and re-optimised, and the
+// band of half-width HealBand around the line is pasted back. The
+// paste-band edges are new partition boundaries; the returned Result
+// carries them in AuxLines so the Fig. 7 bench can show stitch errors
+// reappearing there. FineIters is used as the healing budget per
+// window (healing is a partial re-optimisation, not a full solve).
+func StitchAndHeal(cfg Config, target *grid.Mat) (*Result, error) {
+	dc, err := DivideAndConquer(cfg, target)
+	if err != nil {
+		return nil, err
+	}
+	c := &cfg
+	cl := c.cluster()
+	simStart := cl.Stats().SimElapsed
+	m := dc.Mask.Clone()
+
+	p, err := tile.Part(cfg.ClipSize, cfg.ClipSize, cfg.TileSize, cfg.Margin)
+	if err != nil {
+		return nil, err
+	}
+	lines := p.StitchLines()
+	var aux []tile.StitchLine
+	for _, line := range lines {
+		healed, newEdges, err := c.healLine(cl, m, target, line)
+		if err != nil {
+			return nil, err
+		}
+		m = healed
+		aux = append(aux, newEdges...)
+	}
+	tat := dc.TAT + cl.Stats().SimElapsed - simStart
+
+	res := c.evaluate("stitch-and-heal", m, target, lines, tat, cl)
+	res.AuxLines = aux
+	return res, nil
+}
+
+// healLine re-optimises windows along one stitch line and pastes back
+// the central band. It returns the updated layout and the new
+// boundaries created by the paste.
+func (c *Config) healLine(cl *device.Cluster, m, target *grid.Mat, line tile.StitchLine) (*grid.Mat, []tile.StitchLine, error) {
+	size := c.ClipSize
+	t := c.TileSize
+	band := c.HealBand
+
+	// Window origin perpendicular to the line, clamped into the clip.
+	perp := line.Pos - t/2
+	if perp < 0 {
+		perp = 0
+	}
+	if perp+t > size {
+		perp = size - t
+	}
+
+	out := m.Clone()
+	var mu sync.Mutex
+	var jobs []device.Job
+	params := opt.Params{Iters: c.FineIters, LR: c.LR, Stretch: 1, PVWeight: c.PVWeight}
+	solver := c.solver()
+	for along := 0; along+t <= size; along += t {
+		var y0, x0 int
+		if line.Vertical {
+			y0, x0 = along, perp
+		} else {
+			y0, x0 = perp, along
+		}
+		init := m.Crop(y0, x0, t, t)
+		tgt := target.Crop(y0, x0, t, t)
+		jobs = append(jobs, device.Job{
+			Pixels: t * t,
+			Work: func(int) error {
+				u, err := solver.Solve(tgt, init, params)
+				if err != nil {
+					return fmt.Errorf("core: heal window (%d,%d): %w", y0, x0, err)
+				}
+				// Paste back only the band straddling the line.
+				var bY0, bX0, bH, bW int
+				if line.Vertical {
+					bY0, bX0 = y0, line.Pos-band
+					bH, bW = t, 2*band
+				} else {
+					bY0, bX0 = line.Pos-band, x0
+					bH, bW = 2*band, t
+				}
+				patch := u.Crop(bY0-y0, bX0-x0, bH, bW)
+				mu.Lock()
+				out.Paste(patch, bY0, bX0)
+				mu.Unlock()
+				return nil
+			},
+		})
+	}
+	if err := cl.Run(jobs); err != nil {
+		return nil, nil, err
+	}
+
+	// The band edges are the new partition boundaries of Fig. 7, plus
+	// the joints between stacked windows inside the band.
+	var edges []tile.StitchLine
+	if line.Vertical {
+		edges = append(edges,
+			tile.StitchLine{Vertical: true, Pos: line.Pos - band, Lo: 0, Hi: size},
+			tile.StitchLine{Vertical: true, Pos: line.Pos + band, Lo: 0, Hi: size})
+		for along := t; along+t <= size; along += t {
+			edges = append(edges, tile.StitchLine{Vertical: false, Pos: along, Lo: line.Pos - band, Hi: line.Pos + band})
+		}
+	} else {
+		edges = append(edges,
+			tile.StitchLine{Vertical: false, Pos: line.Pos - band, Lo: 0, Hi: size},
+			tile.StitchLine{Vertical: false, Pos: line.Pos + band, Lo: 0, Hi: size})
+		for along := t; along+t <= size; along += t {
+			edges = append(edges, tile.StitchLine{Vertical: true, Pos: along, Lo: line.Pos - band, Hi: line.Pos + band})
+		}
+	}
+	return out, edges, nil
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"mgsilt/internal/grid"
+)
+
+func TestOverlapSelectIdentitySolver(t *testing.T) {
+	sim := testSim(t)
+	cfg := testConfig(t, sim, 4)
+	cfg.Solver = identitySolver{}
+	target := testClipTarget(t, 21)
+	res, err := OverlapSelect(cfg, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With identical tiles, whatever tile wins each pixel holds the
+	// target's value, so the assembly is exact.
+	if !res.Mask.AlmostEqual(target, 1e-12) {
+		t.Fatal("identity overlap-select must reproduce the target")
+	}
+	if res.Method != "overlap-select/identity" {
+		t.Fatalf("method %q", res.Method)
+	}
+}
+
+func TestOverlapSelectCoversEveryPixel(t *testing.T) {
+	sim := testSim(t)
+	cfg := testConfig(t, sim, 4)
+	cfg.Solver = identitySolver{}
+	// A target of all 0.75 makes uncovered pixels (left at 0) obvious.
+	target := grid.NewMat(testClip, testClip).Fill(0.75)
+	res, err := OverlapSelect(cfg, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.Mask.Data {
+		if v != 0.75 {
+			t.Fatalf("pixel %d not covered by any tile: %v", i, v)
+		}
+	}
+}
+
+func TestOverlapSelectEndToEnd(t *testing.T) {
+	sim := testSim(t)
+	cfg := testConfig(t, sim, 8)
+	target := testClipTarget(t, 22)
+	res, err := OverlapSelect(cfg, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.L2 <= 0 || res.L2 >= target.Sum() {
+		t.Fatalf("implausible L2 %v", res.L2)
+	}
+	if res.TAT <= 0 {
+		t.Fatal("TAT missing")
+	}
+	if len(res.Lines) != 4 {
+		t.Fatalf("lines %d", len(res.Lines))
+	}
+}
+
+func TestOverlapSelectRejectsWrongSize(t *testing.T) {
+	sim := testSim(t)
+	cfg := testConfig(t, sim, 4)
+	if _, err := OverlapSelect(cfg, grid.NewMat(testN, testN)); err == nil {
+		t.Fatal("expected size error")
+	}
+}

@@ -1,0 +1,185 @@
+// Package device models the accelerator pool the paper runs on: GPUs
+// with bounded memory, host-staged transfers between them (the paper's
+// cluster lacks GPU-direct links), and per-device serial execution.
+//
+// The paper's parallelism claims are scheduling claims — which tiles
+// may run concurrently in each phase of the multigrid-Schwarz flow —
+// so the cluster reproduces exactly the quantity being measured: each
+// batch of jobs is list-scheduled onto virtual device timelines using
+// the jobs' measured compute durations, and the batch's simulated
+// makespan advances a virtual clock. Turn-around times derived from
+// that clock are deterministic in shape regardless of how many real
+// CPU cores the host happens to have. Memory capacity gates what fits
+// on one device, motivating the coarse-grid downsampling of
+// Algorithm 1, and the transfer model charges host staging per job.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Cluster is a pool of simulated accelerators.
+type Cluster struct {
+	n         int
+	memPixels int // per-device capacity in mask pixels; 0 = unlimited
+
+	// TransferPerMPixel is the simulated host-staging cost of moving
+	// one megapixel of tile data to and from a device. It is charged
+	// to the job's device timeline, not slept.
+	TransferPerMPixel time.Duration
+
+	mu       sync.Mutex
+	busy     []time.Duration // cumulative simulated busy per device
+	elapsed  time.Duration   // virtual clock: Σ batch makespans
+	transfer time.Duration
+	jobs     int
+}
+
+// Job is one unit of device work: a tile optimisation.
+type Job struct {
+	// Pixels is the working-set size, checked against device memory
+	// and charged to the transfer model.
+	Pixels int
+	// Work runs on the assigned execution slot. The slot index is
+	// provided for logging/affinity.
+	Work func(slot int) error
+}
+
+// NewCluster builds a pool of n devices with the given per-device
+// memory capacity in pixels (0 = unlimited).
+func NewCluster(n, memPixels int) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("device: cluster needs at least one device, got %d", n)
+	}
+	if memPixels < 0 {
+		return nil, fmt.Errorf("device: negative memory capacity %d", memPixels)
+	}
+	return &Cluster{n: n, memPixels: memPixels, busy: make([]time.Duration, n)}, nil
+}
+
+// Devices returns the number of devices in the pool.
+func (c *Cluster) Devices() int { return c.n }
+
+// MemPixels returns the per-device capacity (0 = unlimited).
+func (c *Cluster) MemPixels() int { return c.memPixels }
+
+// Fits reports whether a working set of the given pixel count fits on
+// one device. Algorithm 1 downsamples coarse tiles until this holds.
+func (c *Cluster) Fits(pixels int) bool {
+	return c.memPixels == 0 || pixels <= c.memPixels
+}
+
+// Run executes one barrier-synchronised batch of jobs, then advances
+// the virtual clock by the batch's simulated makespan: measured job
+// durations are list-scheduled (in submission order, earliest-free
+// device first) onto the pool's timelines, exactly the greedy schedule
+// a work-stealing GPU pool produces for homogeneous tile solves.
+//
+// Real execution uses min(devices, GOMAXPROCS) workers so measured
+// durations are not inflated by oversubscribing the host; the reported
+// timing comes from the virtual schedule either way. Jobs whose
+// working set exceeds device memory fail without running; the combined
+// error of all failures is returned.
+func (c *Cluster) Run(jobs []Job) error {
+	durations := make([]time.Duration, len(jobs))
+	errs := make([]error, len(jobs))
+
+	workers := c.n
+	if g := runtime.GOMAXPROCS(0); g < workers {
+		workers = g
+	}
+	queue := make(chan int)
+	var wg sync.WaitGroup
+	for slot := 0; slot < workers; slot++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for i := range queue {
+				job := jobs[i]
+				if !c.Fits(job.Pixels) {
+					errs[i] = fmt.Errorf("device: job of %d pixels exceeds device memory %d", job.Pixels, c.memPixels)
+					continue
+				}
+				start := time.Now()
+				errs[i] = job.Work(slot)
+				durations[i] = time.Since(start)
+			}
+		}(slot)
+	}
+	for i := range jobs {
+		queue <- i
+	}
+	close(queue)
+	wg.Wait()
+
+	// Virtual list schedule of the measured durations.
+	c.mu.Lock()
+	end := make([]time.Duration, c.n)
+	for i, d := range durations {
+		if errs[i] != nil && d == 0 {
+			continue // never ran
+		}
+		cost := d + c.transferCost(jobs[i].Pixels)
+		dev := 0
+		for k := 1; k < c.n; k++ {
+			if end[k] < end[dev] {
+				dev = k
+			}
+		}
+		end[dev] += cost
+		c.busy[dev] += cost
+		c.transfer += c.transferCost(jobs[i].Pixels)
+		c.jobs++
+	}
+	makespan := time.Duration(0)
+	for _, e := range end {
+		if e > makespan {
+			makespan = e
+		}
+	}
+	c.elapsed += makespan
+	c.mu.Unlock()
+
+	return errors.Join(errs...)
+}
+
+func (c *Cluster) transferCost(pixels int) time.Duration {
+	return time.Duration(float64(pixels) / 1e6 * float64(c.TransferPerMPixel))
+}
+
+// Stats summarises accumulated accounting.
+type Stats struct {
+	Jobs       int
+	TotalBusy  time.Duration // Σ simulated device busy (serial-equivalent work)
+	MaxBusy    time.Duration // busiest device timeline
+	Transfer   time.Duration // simulated host-staging cost
+	SimElapsed time.Duration // virtual clock: Σ batch makespans
+}
+
+// Stats returns a snapshot of the accounting counters.
+func (c *Cluster) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{Jobs: c.jobs, Transfer: c.transfer, SimElapsed: c.elapsed}
+	for _, b := range c.busy {
+		s.TotalBusy += b
+		if b > s.MaxBusy {
+			s.MaxBusy = b
+		}
+	}
+	return s
+}
+
+// Reset clears the accounting counters.
+func (c *Cluster) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.busy = make([]time.Duration, c.n)
+	c.elapsed = 0
+	c.transfer = 0
+	c.jobs = 0
+}

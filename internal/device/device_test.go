@@ -1,0 +1,229 @@
+package device
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(0, 0); err == nil {
+		t.Fatal("zero devices must fail")
+	}
+	if _, err := NewCluster(2, -1); err == nil {
+		t.Fatal("negative memory must fail")
+	}
+	c, err := NewCluster(3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Devices() != 3 || c.MemPixels() != 100 {
+		t.Fatalf("cluster %d devices, %d mem", c.Devices(), c.MemPixels())
+	}
+}
+
+func TestFits(t *testing.T) {
+	c, _ := NewCluster(1, 100)
+	if !c.Fits(100) || c.Fits(101) {
+		t.Fatal("Fits boundary wrong")
+	}
+	u, _ := NewCluster(1, 0)
+	if !u.Fits(1 << 40) {
+		t.Fatal("unlimited memory must fit anything")
+	}
+}
+
+func TestRunExecutesAllJobs(t *testing.T) {
+	c, _ := NewCluster(3, 0)
+	var count atomic.Int32
+	jobs := make([]Job, 10)
+	for i := range jobs {
+		jobs[i] = Job{Pixels: 1, Work: func(int) error {
+			count.Add(1)
+			return nil
+		}}
+	}
+	if err := c.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 10 {
+		t.Fatalf("ran %d of 10 jobs", count.Load())
+	}
+	if st := c.Stats(); st.Jobs != 10 {
+		t.Fatalf("stats counted %d jobs", st.Jobs)
+	}
+}
+
+func TestRunConcurrencyBoundedByDevices(t *testing.T) {
+	const devices = 2
+	c, _ := NewCluster(devices, 0)
+	var cur, peak atomic.Int32
+	var mu sync.Mutex
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = Job{Pixels: 1, Work: func(int) error {
+			n := cur.Add(1)
+			mu.Lock()
+			if n > peak.Load() {
+				peak.Store(n)
+			}
+			mu.Unlock()
+			time.Sleep(2 * time.Millisecond)
+			cur.Add(-1)
+			return nil
+		}}
+	}
+	if err := c.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	// Real concurrency is bounded by the device count (it is further
+	// bounded by GOMAXPROCS, so no lower bound can be asserted here —
+	// the virtual schedule is what models parallelism).
+	if p := peak.Load(); p > devices {
+		t.Fatalf("observed %d concurrent jobs on %d devices", p, devices)
+	}
+}
+
+func TestVirtualScheduleSpeedup(t *testing.T) {
+	// 8 equal jobs on 1 vs 4 devices: the virtual makespan must shrink
+	// by ~4x regardless of how many real cores executed them.
+	mkJobs := func() []Job {
+		jobs := make([]Job, 8)
+		for i := range jobs {
+			jobs[i] = Job{Pixels: 1, Work: func(int) error {
+				time.Sleep(4 * time.Millisecond)
+				return nil
+			}}
+		}
+		return jobs
+	}
+	c1, _ := NewCluster(1, 0)
+	if err := c1.Run(mkJobs()); err != nil {
+		t.Fatal(err)
+	}
+	c4, _ := NewCluster(4, 0)
+	if err := c4.Run(mkJobs()); err != nil {
+		t.Fatal(err)
+	}
+	t1 := c1.Stats().SimElapsed
+	t4 := c4.Stats().SimElapsed
+	speedup := t1.Seconds() / t4.Seconds()
+	if speedup < 2.5 || speedup > 6 {
+		t.Fatalf("virtual speedup %.2f (1 dev %v, 4 dev %v), want ≈4", speedup, t1, t4)
+	}
+	// The 4-device schedule packs 8 jobs as two waves: makespan ≈ 2 jobs.
+	if st := c4.Stats(); st.MaxBusy > st.TotalBusy || st.SimElapsed > st.TotalBusy {
+		t.Fatalf("inconsistent accounting %+v", st)
+	}
+}
+
+func TestRunRejectsOversizedJob(t *testing.T) {
+	c, _ := NewCluster(1, 10)
+	ran := false
+	err := c.Run([]Job{{Pixels: 11, Work: func(int) error { ran = true; return nil }}})
+	if err == nil {
+		t.Fatal("expected memory error")
+	}
+	if ran {
+		t.Fatal("oversized job must not run")
+	}
+}
+
+func TestRunPropagatesWorkErrors(t *testing.T) {
+	c, _ := NewCluster(2, 0)
+	boom := errors.New("boom")
+	var ok atomic.Int32
+	err := c.Run([]Job{
+		{Pixels: 1, Work: func(int) error { return boom }},
+		{Pixels: 1, Work: func(int) error { ok.Add(1); return nil }},
+		{Pixels: 1, Work: func(int) error { ok.Add(1); return nil }},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if ok.Load() != 2 {
+		t.Fatalf("healthy jobs did not run: %d", ok.Load())
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	c, _ := NewCluster(2, 0)
+	c.TransferPerMPixel = 10 * time.Millisecond
+	jobs := []Job{
+		{Pixels: 1 << 20, Work: func(int) error { time.Sleep(3 * time.Millisecond); return nil }},
+		{Pixels: 1 << 20, Work: func(int) error { time.Sleep(3 * time.Millisecond); return nil }},
+	}
+	if err := c.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.TotalBusy < 6*time.Millisecond {
+		t.Fatalf("total busy %v too small", st.TotalBusy)
+	}
+	if st.MaxBusy > st.TotalBusy {
+		t.Fatal("max busy exceeds total")
+	}
+	if st.Transfer < 20*time.Millisecond {
+		t.Fatalf("transfer %v, want ≥ 2·(2^20/1e6)·10ms", st.Transfer)
+	}
+	c.Reset()
+	if st := c.Stats(); st.Jobs != 0 || st.TotalBusy != 0 || st.Transfer != 0 {
+		t.Fatalf("reset left %+v", st)
+	}
+}
+
+func TestDeviceIndexInRange(t *testing.T) {
+	c, _ := NewCluster(3, 0)
+	var bad atomic.Int32
+	jobs := make([]Job, 9)
+	for i := range jobs {
+		jobs[i] = Job{Pixels: 1, Work: func(dev int) error {
+			if dev < 0 || dev >= 3 {
+				bad.Add(1)
+			}
+			return nil
+		}}
+	}
+	if err := c.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if bad.Load() != 0 {
+		t.Fatal("device index out of range")
+	}
+}
+
+func TestTransferChargedToTimeline(t *testing.T) {
+	c, _ := NewCluster(1, 0)
+	c.TransferPerMPixel = 100 * time.Millisecond
+	err := c.Run([]Job{{Pixels: 1 << 20, Work: func(int) error { return nil }}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	// 2^20 pixels ≈ 1.05 MPx → ≈105ms of staging on the timeline even
+	// though the job itself was instant.
+	if st.SimElapsed < 100*time.Millisecond {
+		t.Fatalf("transfer not charged to the virtual clock: %v", st.SimElapsed)
+	}
+	if st.Transfer < 100*time.Millisecond {
+		t.Fatalf("transfer counter %v", st.Transfer)
+	}
+}
+
+func TestSimElapsedAccumulatesAcrossRuns(t *testing.T) {
+	c, _ := NewCluster(2, 0)
+	job := Job{Pixels: 1, Work: func(int) error { time.Sleep(2 * time.Millisecond); return nil }}
+	if err := c.Run([]Job{job, job}); err != nil {
+		t.Fatal(err)
+	}
+	first := c.Stats().SimElapsed
+	if err := c.Run([]Job{job}); err != nil {
+		t.Fatal(err)
+	}
+	second := c.Stats().SimElapsed
+	if second <= first {
+		t.Fatalf("virtual clock did not advance: %v then %v", first, second)
+	}
+}

@@ -1,0 +1,301 @@
+// Package fft implements the fast Fourier transforms used by the
+// lithography simulator: an iterative radix-2 complex transform with
+// cached plans, 2-D transforms over grid.CMat, centre-shift utilities,
+// the [·]_P low-pass spectrum extraction of Eq. (2), and the fractional
+// frequency interpolation behind the sN-grid kernel resampling of
+// Eq. (3)/(8).
+//
+// Conventions: the forward transform is unnormalised and the inverse
+// carries the 1/n factor per dimension, so Inverse(Forward(x)) == x.
+// Spectra produced by Forward2D have DC at index (0,0) ("corner"
+// layout); ToCentered/ToCorner swap between that and the DC-at-centre
+// layout used for human-readable kernel definitions. Sizes must be
+// powers of two.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+
+	"mgsilt/internal/grid"
+)
+
+// plan holds the precomputed bit-reversal permutation and twiddle
+// factors for a transform of a fixed power-of-two length. Plans are
+// immutable once built and safe for concurrent use.
+type plan struct {
+	n       int
+	rev     []int        // bit-reversal permutation
+	twiddle []complex128 // forward twiddles, n/2 entries
+}
+
+var (
+	plansMu sync.Mutex
+	plans   = map[int]*plan{}
+)
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+func planFor(n int) *plan {
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	plansMu.Lock()
+	defer plansMu.Unlock()
+	if p, ok := plans[n]; ok {
+		return p
+	}
+	p := &plan{n: n, rev: make([]int, n), twiddle: make([]complex128, n/2)}
+	shift := bits.UintSize - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		p.rev[i] = int(bits.Reverse(uint(i)) >> shift)
+	}
+	for k := 0; k < n/2; k++ {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		p.twiddle[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	plans[n] = p
+	return p
+}
+
+// transform runs the in-place radix-2 FFT over x. When inverse is true
+// the conjugate twiddles are used and the result is scaled by 1/n.
+func (p *plan) transform(x []complex128, inverse bool) {
+	n := p.n
+	if len(x) != n {
+		panic(fmt.Sprintf("fft: buffer length %d does not match plan %d", len(x), n))
+	}
+	for i, j := range p.rev {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			tw := 0
+			for k := start; k < start+half; k++ {
+				w := p.twiddle[tw]
+				if inverse {
+					w = complex(real(w), -imag(w))
+				}
+				t := w * x[k+half]
+				x[k+half] = x[k] - t
+				x[k] = x[k] + t
+				tw += step
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+}
+
+// Forward computes the in-place forward FFT of x (length must be a
+// power of two).
+func Forward(x []complex128) { planFor(len(x)).transform(x, false) }
+
+// Inverse computes the in-place inverse FFT of x, including the 1/n
+// normalisation.
+func Inverse(x []complex128) { planFor(len(x)).transform(x, true) }
+
+// Forward2D computes the in-place 2-D forward FFT of m (rows then
+// columns). m must be square or rectangular with power-of-two sides.
+func Forward2D(m *grid.CMat) { transform2D(m, false) }
+
+// Inverse2D computes the in-place 2-D inverse FFT of m.
+func Inverse2D(m *grid.CMat) { transform2D(m, true) }
+
+func transform2D(m *grid.CMat, inverse bool) {
+	rowPlan := planFor(m.W)
+	colPlan := planFor(m.H)
+	for y := 0; y < m.H; y++ {
+		rowPlan.transform(m.Row(y), inverse)
+	}
+	// Column pass through a gather/scatter buffer. A blocked-transpose
+	// variant was benchmarked and lost ~15% at the simulator's working
+	// sizes (≤512², where a full matrix still fits in L2/L3): the two
+	// extra full-matrix copies cost more than the strided gathers.
+	col := make([]complex128, m.H)
+	for x := 0; x < m.W; x++ {
+		for y := 0; y < m.H; y++ {
+			col[y] = m.Data[y*m.W+x]
+		}
+		colPlan.transform(col, inverse)
+		for y := 0; y < m.H; y++ {
+			m.Data[y*m.W+x] = col[y]
+		}
+	}
+}
+
+// ForwardReal transforms a real matrix into a freshly allocated
+// corner-layout spectrum.
+func ForwardReal(m *grid.Mat) *grid.CMat {
+	c := grid.NewCMatFromReal(m)
+	Forward2D(c)
+	return c
+}
+
+// ToCentered converts a corner-layout spectrum (DC at (0,0)) into
+// centre layout (DC at (H/2, W/2)) in a fresh matrix. For even sizes
+// the operation is an involution implemented as a quadrant swap.
+func ToCentered(m *grid.CMat) *grid.CMat { return quadrantSwap(m) }
+
+// ToCorner converts a centre-layout spectrum back to corner layout.
+func ToCorner(m *grid.CMat) *grid.CMat { return quadrantSwap(m) }
+
+func quadrantSwap(m *grid.CMat) *grid.CMat {
+	if m.H%2 != 0 || m.W%2 != 0 {
+		panic("fft: quadrant swap requires even dimensions")
+	}
+	out := grid.NewCMat(m.H, m.W)
+	hh, hw := m.H/2, m.W/2
+	for y := 0; y < m.H; y++ {
+		sy := (y + hh) % m.H
+		src := m.Row(y)
+		dst := out.Row(sy)
+		for x := 0; x < m.W; x++ {
+			dst[(x+hw)%m.W] = src[x]
+		}
+	}
+	return out
+}
+
+// LowPass zeroes, in place, every coefficient of the corner-layout
+// spectrum m outside the centred p×p block — the [·]_P extraction of
+// Eq. (2). p must be even and no larger than either side.
+func LowPass(m *grid.CMat, p int) {
+	if p%2 != 0 || p > m.H || p > m.W {
+		panic(fmt.Sprintf("fft: invalid low-pass size %d for %dx%d", p, m.H, m.W))
+	}
+	half := p / 2
+	keepY := func(y int) bool {
+		// Centred frequencies are y in [0, half) and (H-half, H).
+		return y < half || y >= m.H-half
+	}
+	keepX := func(x int) bool {
+		return x < half || x >= m.W-half
+	}
+	for y := 0; y < m.H; y++ {
+		row := m.Row(y)
+		if !keepY(y) {
+			for x := range row {
+				row[x] = 0
+			}
+			continue
+		}
+		for x := 0; x < m.W; x++ {
+			if !keepX(x) {
+				row[x] = 0
+			}
+		}
+	}
+}
+
+// FlipFreq returns the corner-layout spectrum H(-f) for a corner-layout
+// spectrum H(f): index k maps to (n-k) mod n per dimension. It is the
+// frequency-domain form of spatial coordinate reversal, used by the
+// adjoint (correlation) pass of the ILT gradient.
+func FlipFreq(m *grid.CMat) *grid.CMat {
+	out := grid.NewCMat(m.H, m.W)
+	for y := 0; y < m.H; y++ {
+		sy := (m.H - y) % m.H
+		src := m.Row(y)
+		dst := out.Row(sy)
+		for x := 0; x < m.W; x++ {
+			dst[(m.W-x)%m.W] = src[x]
+		}
+	}
+	return out
+}
+
+// InterpolateCentered stretches a centre-layout spectrum by the integer
+// factor s onto an (s·H)×(s·W) grid: out(j, k) = src(j/s, k/s) with
+// bilinear interpolation in centred frequency coordinates, implementing
+// the fractional-frequency sampling H_i(j/s, k/s) of Eq. (3). Source
+// support of diameter p maps to diameter s·p.
+func InterpolateCentered(src *grid.CMat, s int) *grid.CMat {
+	if s < 1 {
+		panic("fft: interpolation factor must be >= 1")
+	}
+	if s == 1 {
+		return src.Clone()
+	}
+	return ResampleCentered(src, src.H*s, s)
+}
+
+// ResampleCentered samples a square centre-layout spectrum at fractional
+// frequencies: the output is outSize×outSize with
+// out(u) = src(u/stretch) for centred index offsets u, interpolated
+// bilinearly. It unifies the two kernel resamplings of the paper:
+//
+//   - Eq. (3) full-area simulation: outSize = s·N, stretch = s — the
+//     kernel is laid onto the larger sN frequency grid.
+//   - Eq. (9) coarse-grid simulation: outSize = N, stretch = s — the
+//     mask was downsampled by s, so each coarse pixel spans s fine
+//     pixels and the kernel support widens by s on the same grid.
+//
+// Source support of diameter p maps to diameter stretch·p, which must
+// fit inside outSize or the kernel is silently truncated.
+func ResampleCentered(src *grid.CMat, outSize, stretch int) *grid.CMat {
+	if src.H != src.W {
+		panic("fft: ResampleCentered requires a square spectrum")
+	}
+	if outSize < 2 || stretch < 1 {
+		panic(fmt.Sprintf("fft: invalid resample outSize=%d stretch=%d", outSize, stretch))
+	}
+	out := grid.NewCMat(outSize, outSize)
+	cSrc := float64(src.H / 2)
+	cOut := outSize / 2
+	fs := float64(stretch)
+	for y := 0; y < outSize; y++ {
+		// Centred frequency of output row y is (y-cOut); the matching
+		// source frequency is (y-cOut)/stretch.
+		sy := float64(y-cOut)/fs + cSrc
+		y0 := int(math.Floor(sy))
+		fy := sy - float64(y0)
+		for x := 0; x < outSize; x++ {
+			sx := float64(x-cOut)/fs + cSrc
+			x0 := int(math.Floor(sx))
+			fx := sx - float64(x0)
+			out.Set(y, x, bilinearAt(src, y0, x0, fy, fx))
+		}
+	}
+	return out
+}
+
+func bilinearAt(m *grid.CMat, y0, x0 int, fy, fx float64) complex128 {
+	sample := func(y, x int) complex128 {
+		if y < 0 || y >= m.H || x < 0 || x >= m.W {
+			return 0
+		}
+		return m.At(y, x)
+	}
+	a := sample(y0, x0)
+	b := sample(y0, x0+1)
+	c := sample(y0+1, x0)
+	d := sample(y0+1, x0+1)
+	top := a*complex(1-fx, 0) + b*complex(fx, 0)
+	bot := c*complex(1-fx, 0) + d*complex(fx, 0)
+	return top*complex(1-fy, 0) + bot*complex(fy, 0)
+}
+
+// Convolve multiplies the corner-layout spectrum of m by kernel (also
+// corner layout) and inverse-transforms, returning the complex result:
+// IFFT(H ⊙ FFT(m)). kernel must match m's shape.
+func Convolve(m *grid.Mat, kernel *grid.CMat) *grid.CMat {
+	if kernel.H != m.H || kernel.W != m.W {
+		panic(fmt.Sprintf("fft: Convolve shape mismatch %dx%d vs kernel %dx%d", m.H, m.W, kernel.H, kernel.W))
+	}
+	spec := ForwardReal(m)
+	spec.MulElem(kernel)
+	Inverse2D(spec)
+	return spec
+}

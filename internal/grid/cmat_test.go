@@ -1,0 +1,98 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randCMat(rng *rand.Rand, h, w int) *CMat {
+	m := NewCMat(h, w)
+	for i := range m.Data {
+		m.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return m
+}
+
+func TestCMatBasics(t *testing.T) {
+	m := NewCMat(2, 3)
+	m.Set(1, 2, 3+4i)
+	if m.At(1, 2) != 3+4i {
+		t.Fatalf("At=%v", m.At(1, 2))
+	}
+	if m.Row(1)[2] != 3+4i {
+		t.Fatal("Row mismatch")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 1)
+	if m.At(0, 0) != 0 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestCMatMulElemScaleConj(t *testing.T) {
+	a := NewCMat(1, 2)
+	a.Data[0], a.Data[1] = 1+1i, 2
+	b := NewCMat(1, 2)
+	b.Data[0], b.Data[1] = 2, 3i
+	a.MulElem(b)
+	if a.Data[0] != 2+2i || a.Data[1] != 6i {
+		t.Fatalf("MulElem got %v", a.Data)
+	}
+	a.Scale(1i)
+	if a.Data[0] != -2+2i {
+		t.Fatalf("Scale got %v", a.Data)
+	}
+	a.Conj()
+	if a.Data[0] != -2-2i {
+		t.Fatalf("Conj got %v", a.Data)
+	}
+}
+
+func TestCMatAbsSqAndReal(t *testing.T) {
+	m := NewCMat(1, 2)
+	m.Data[0], m.Data[1] = 3+4i, -2i
+	sq := m.AbsSq(nil)
+	if sq.Data[0] != 25 || sq.Data[1] != 4 {
+		t.Fatalf("AbsSq got %v", sq.Data)
+	}
+	re := m.Real()
+	if re.Data[0] != 3 || re.Data[1] != 0 {
+		t.Fatalf("Real got %v", re.Data)
+	}
+	dst := NewMat(1, 2).Fill(1)
+	m.AddAbsSqScaled(dst, 0.5)
+	if dst.Data[0] != 13.5 || dst.Data[1] != 3 {
+		t.Fatalf("AddAbsSqScaled got %v", dst.Data)
+	}
+}
+
+func TestCMatFromRealRoundTrip(t *testing.T) {
+	r := MatFromData(2, 2, []float64{1, 2, 3, 4})
+	c := NewCMatFromReal(r)
+	back := c.Real()
+	if !back.Equal(r) {
+		t.Fatal("FromReal/Real round trip failed")
+	}
+}
+
+func TestCMatAlmostEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randCMat(rng, 3, 3)
+	b := a.Clone()
+	b.Data[0] += complex(1e-9, 0)
+	if !a.AlmostEqual(b, 1e-8) {
+		t.Fatal("should be almost equal")
+	}
+	if a.AlmostEqual(b, 1e-10) {
+		t.Fatal("should differ at 1e-10")
+	}
+}
+
+func TestCMatMaxAbs(t *testing.T) {
+	m := NewCMat(1, 2)
+	m.Data[0] = 3 + 4i
+	if math.Abs(m.MaxAbs()-5) > 1e-12 {
+		t.Fatalf("MaxAbs=%v want 5", m.MaxAbs())
+	}
+}

@@ -1,0 +1,58 @@
+package grid
+
+import "sync"
+
+// Size-keyed free lists for the FFT-heavy hot paths. A LossGrad
+// evaluation allocates on the order of (kernels+4) full-size matrices;
+// recycling them keeps the single-threaded GC out of the inner loop.
+// Matrices obtained from the pools carry arbitrary prior contents —
+// callers must overwrite or zero them.
+var (
+	matPools  sync.Map // int -> *sync.Pool of *Mat
+	cmatPools sync.Map // int -> *sync.Pool of *CMat
+)
+
+// GetMat returns an h×w matrix from the pool (contents undefined).
+func GetMat(h, w int) *Mat {
+	size := h * w
+	p, _ := matPools.LoadOrStore(size, &sync.Pool{})
+	if v := p.(*sync.Pool).Get(); v != nil {
+		m := v.(*Mat)
+		m.H, m.W = h, w
+		return m
+	}
+	return NewMat(h, w)
+}
+
+// PutMat returns a matrix to the pool. The caller must not use it
+// afterwards.
+func PutMat(m *Mat) {
+	if m == nil {
+		return
+	}
+	p, _ := matPools.LoadOrStore(len(m.Data), &sync.Pool{})
+	p.(*sync.Pool).Put(m)
+}
+
+// GetCMat returns an h×w complex matrix from the pool (contents
+// undefined).
+func GetCMat(h, w int) *CMat {
+	size := h * w
+	p, _ := cmatPools.LoadOrStore(size, &sync.Pool{})
+	if v := p.(*sync.Pool).Get(); v != nil {
+		m := v.(*CMat)
+		m.H, m.W = h, w
+		return m
+	}
+	return NewCMat(h, w)
+}
+
+// PutCMat returns a complex matrix to the pool. The caller must not
+// use it afterwards.
+func PutCMat(m *CMat) {
+	if m == nil {
+		return
+	}
+	p, _ := cmatPools.LoadOrStore(len(m.Data), &sync.Pool{})
+	p.(*sync.Pool).Put(m)
+}

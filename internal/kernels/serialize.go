@@ -1,0 +1,41 @@
+package kernels
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Save writes the set to w in gob encoding. Kernel sets are cheap to
+// regenerate, but saving them lets cmd tools pin the exact optics used
+// for a published experiment run.
+func (s *Set) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(s); err != nil {
+		return fmt.Errorf("kernels: encode: %w", err)
+	}
+	return nil
+}
+
+// Load reads a set previously written by Save.
+func Load(r io.Reader) (*Set, error) {
+	var s Set
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("kernels: decode: %w", err)
+	}
+	if !validLoaded(&s) {
+		return nil, fmt.Errorf("kernels: decoded set is malformed")
+	}
+	return &s, nil
+}
+
+func validLoaded(s *Set) bool {
+	if s.N <= 0 || s.P <= 0 || s.P > s.N || len(s.Kernels) == 0 {
+		return false
+	}
+	for _, k := range s.Kernels {
+		if k.Freq == nil || k.Freq.H != s.N || k.Freq.W != s.N {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,228 @@
+// Package layout synthesises the M1 metal-layer target clips that the
+// experiment suite optimises. The paper evaluates on 20 proprietary
+// 4096×4096 M1 clips; this generator produces deterministic synthetic
+// equivalents: Manhattan routing tracks with random wire segments,
+// inter-track jogs and via-landing stubs, at densities and feature
+// sizes proportional to the paper's (see DESIGN.md, substitutions).
+//
+// Geometry is produced rectangle-first and rasterised, so every clip is
+// design-rule clean by construction (minimum width = WireWidth,
+// minimum gap = MinGap).
+package layout
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mgsilt/internal/grid"
+)
+
+// Rect is a half-open rectangle [Y0,Y1)×[X0,X1) in pixel coordinates.
+type Rect struct {
+	Y0, X0, Y1, X1 int
+}
+
+// Clip is one benchmark layout: its target wafer image plus metadata.
+type Clip struct {
+	ID     string
+	Seed   int64
+	Target *grid.Mat // binary target Z_t
+	Rects  []Rect    // the generating geometry
+}
+
+// AreaPx returns the drawn area in pixels (the Table 1 "Area" column;
+// at paper scale one pixel is 1 nm²).
+func (c *Clip) AreaPx() int { return int(c.Target.Sum()) }
+
+// Config controls clip generation. All lengths are in pixels.
+type Config struct {
+	Size      int     // clip side length (power of two for the simulator)
+	Seed      int64   // RNG seed; equal seeds give identical clips
+	WireWidth int     // track wire width (minimum feature)
+	Pitch     int     // routing track pitch (must exceed WireWidth+MinGap)
+	MinGap    int     // minimum same-track gap between segments
+	MinSeg    int     // minimum wire segment length
+	MaxSeg    int     // maximum wire segment length
+	Density   float64 // probability a track position starts a segment
+	JogProb   float64 // probability of a jog connecting adjacent tracks
+	StubProb  float64 // probability of an isolated landing stub per track
+	Vertical  bool    // route tracks vertically instead of horizontally
+}
+
+// DefaultConfig returns generation parameters chosen so features sit
+// near the simulator's resolution limit exactly as the paper's M1
+// layer sits near its scanner's limit. The kernels.DefaultConfig
+// optics resolve a minimum half-pitch of ≈5.3 px at every grid size
+// (the pupil cutoff scales with N), so feature sizes are absolute in
+// pixels: 10 px wires ≈ 1.9× the resolution limit, the same regime as
+// 45 nm M1 under 193i.
+func DefaultConfig(size int, seed int64) Config {
+	const w = 10
+	return Config{
+		Size:      size,
+		Seed:      seed,
+		WireWidth: w,
+		Pitch:     w * 5 / 2,
+		MinGap:    w,
+		MinSeg:    3 * w,
+		MaxSeg:    12 * w,
+		Density:   0.55,
+		JogProb:   0.25,
+		StubProb:  0.2,
+		Vertical:  seed%2 == 1,
+	}
+}
+
+// Validate reports whether the configuration is generatable.
+func (c Config) Validate() error {
+	if c.Size < 32 {
+		return fmt.Errorf("layout: size %d too small", c.Size)
+	}
+	if c.WireWidth < 1 || c.MinGap < 1 {
+		return fmt.Errorf("layout: wire width and gap must be positive")
+	}
+	if c.Pitch < c.WireWidth+c.MinGap {
+		return fmt.Errorf("layout: pitch %d < width %d + gap %d", c.Pitch, c.WireWidth, c.MinGap)
+	}
+	if c.MinSeg < c.WireWidth || c.MaxSeg < c.MinSeg {
+		return fmt.Errorf("layout: bad segment range [%d, %d]", c.MinSeg, c.MaxSeg)
+	}
+	if c.Density <= 0 || c.Density > 1 {
+		return fmt.Errorf("layout: density %v out of (0, 1]", c.Density)
+	}
+	return nil
+}
+
+// Generate builds one clip from cfg. Generation is deterministic in
+// cfg (including the seed).
+func Generate(cfg Config) (*Clip, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	clip := &Clip{ID: fmt.Sprintf("clip-%d", cfg.Seed), Seed: cfg.Seed}
+
+	// Track generation happens in "track space" (tracks run along X);
+	// vertical clips transpose at the end.
+	margin := cfg.WireWidth // keep shapes off the clip edge
+	size := cfg.Size
+	w := cfg.WireWidth
+
+	type seg struct{ track, x0, x1 int }
+	var segs []seg
+	trackY := func(t int) int { return margin + t*cfg.Pitch }
+	numTracks := 0
+	for trackY(numTracks)+w+margin <= size {
+		numTracks++
+	}
+
+	for t := 0; t < numTracks; t++ {
+		x := margin + rng.Intn(cfg.Pitch)
+		for x+cfg.MinSeg+margin <= size {
+			if rng.Float64() < cfg.Density {
+				maxLen := cfg.MaxSeg
+				if lim := size - margin - x; lim < maxLen {
+					maxLen = lim
+				}
+				length := cfg.MinSeg
+				if maxLen > cfg.MinSeg {
+					length += rng.Intn(maxLen - cfg.MinSeg + 1)
+				}
+				segs = append(segs, seg{t, x, x + length})
+				clip.Rects = append(clip.Rects, Rect{trackY(t), x, trackY(t) + w, x + length})
+				x += length + cfg.MinGap + rng.Intn(cfg.MinGap+1)
+			} else {
+				x += cfg.MinSeg + rng.Intn(cfg.MinSeg+1)
+			}
+		}
+	}
+
+	// Jogs: vertical connectors between segments on adjacent tracks
+	// that overlap in X. These create the 2-D corner geometry where
+	// stitch mismatches hurt the most.
+	for _, a := range segs {
+		if rng.Float64() >= cfg.JogProb {
+			continue
+		}
+		for _, b := range segs {
+			if b.track != a.track+1 {
+				continue
+			}
+			lo := max(a.x0, b.x0)
+			hi := min(a.x1, b.x1)
+			if hi-lo < w {
+				continue
+			}
+			x := lo + rng.Intn(hi-lo-w+1)
+			clip.Rects = append(clip.Rects, Rect{trackY(a.track), x, trackY(b.track) + w, x + w})
+			break
+		}
+	}
+
+	// Landing stubs: small isolated squares between tracks (via pads).
+	side := w + w/2
+	for t := 0; t+1 < numTracks; t++ {
+		if rng.Float64() >= cfg.StubProb {
+			continue
+		}
+		yGap := trackY(t) + w + cfg.MinGap
+		if yGap+side+cfg.MinGap > trackY(t+1) {
+			continue // gap too small for a design-rule-clean stub
+		}
+		x := margin + rng.Intn(size-2*margin-side)
+		r := Rect{yGap, x, yGap + side, x + side}
+		if clearOf(r, clip.Rects, cfg.MinGap) {
+			clip.Rects = append(clip.Rects, r)
+		}
+	}
+
+	clip.Target = rasterise(size, clip.Rects)
+	if cfg.Vertical {
+		clip.Target = clip.Target.Transpose()
+		for i, r := range clip.Rects {
+			clip.Rects[i] = Rect{r.X0, r.Y0, r.X1, r.Y1}
+		}
+	}
+	return clip, nil
+}
+
+// clearOf reports whether r keeps at least gap pixels from every
+// rectangle in rects.
+func clearOf(r Rect, rects []Rect, gap int) bool {
+	for _, o := range rects {
+		if r.Y0-gap < o.Y1 && o.Y0 < r.Y1+gap && r.X0-gap < o.X1 && o.X0 < r.X1+gap {
+			return false
+		}
+	}
+	return true
+}
+
+func rasterise(size int, rects []Rect) *grid.Mat {
+	m := grid.NewMat(size, size)
+	for _, r := range rects {
+		for y := r.Y0; y < r.Y1; y++ {
+			row := m.Row(y)
+			for x := r.X0; x < r.X1; x++ {
+				row[x] = 1
+			}
+		}
+	}
+	return m
+}
+
+// Suite generates the n-clip benchmark suite at the given size,
+// mirroring the paper's 20-clip M1 evaluation set. Seeds are
+// 1..n offset by baseSeed so the suite is fully reproducible.
+func Suite(n, size int, baseSeed int64) ([]*Clip, error) {
+	clips := make([]*Clip, 0, n)
+	for i := 0; i < n; i++ {
+		cfg := DefaultConfig(size, baseSeed+int64(i)+1)
+		c, err := Generate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("layout: suite clip %d: %w", i, err)
+		}
+		c.ID = fmt.Sprintf("case%d", i+1)
+		clips = append(clips, c)
+	}
+	return clips, nil
+}

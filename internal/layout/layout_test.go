@@ -1,0 +1,263 @@
+package layout
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	for _, size := range []int{64, 128, 256, 512} {
+		cfg := DefaultConfig(size, 7)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	base := DefaultConfig(128, 1)
+	cases := []func(*Config){
+		func(c *Config) { c.Size = 16 },
+		func(c *Config) { c.WireWidth = 0 },
+		func(c *Config) { c.Pitch = c.WireWidth },
+		func(c *Config) { c.MinSeg = c.WireWidth - 1 },
+		func(c *Config) { c.MaxSeg = c.MinSeg - 1 },
+		func(c *Config) { c.Density = 0 },
+		func(c *Config) { c.Density = 1.5 },
+	}
+	for i, mutate := range cases {
+		cfg := base
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig(128, 99)
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Target.Equal(b.Target) {
+		t.Fatal("same seed must produce identical clips")
+	}
+	cfg.Seed = 100
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Target.Equal(c.Target) {
+		t.Fatal("different seeds should produce different clips")
+	}
+}
+
+func TestGenerateDensityInRange(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		clip, err := Generate(DefaultConfig(256, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		density := float64(clip.AreaPx()) / float64(256*256)
+		if density < 0.08 || density > 0.6 {
+			t.Fatalf("seed %d: density %v outside plausible M1 range", seed, density)
+		}
+	}
+}
+
+func TestGenerateKeepsMargin(t *testing.T) {
+	cfg := DefaultConfig(128, 3)
+	cfg.Vertical = false
+	clip, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := clip.Target
+	for x := 0; x < m.W; x++ {
+		if m.At(0, x) != 0 || m.At(m.H-1, x) != 0 {
+			t.Fatal("geometry touches the horizontal clip edge")
+		}
+	}
+	for y := 0; y < m.H; y++ {
+		if m.At(y, 0) != 0 || m.At(y, m.W-1) != 0 {
+			t.Fatal("geometry touches the vertical clip edge")
+		}
+	}
+}
+
+func TestGenerateBinary(t *testing.T) {
+	clip, err := Generate(DefaultConfig(128, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range clip.Target.Data {
+		if v != 0 && v != 1 {
+			t.Fatalf("non-binary target value %v", v)
+		}
+	}
+}
+
+func TestVerticalTransposesGeometry(t *testing.T) {
+	cfg := DefaultConfig(128, 11)
+	cfg.Vertical = false
+	h, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Vertical = true
+	v, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Target.Equal(h.Target.Transpose()) {
+		t.Fatal("vertical clip must be the transpose of the horizontal one")
+	}
+	// Rects metadata must match the transposed raster.
+	if len(v.Rects) != len(h.Rects) {
+		t.Fatal("rect count changed under transpose")
+	}
+}
+
+func TestRectsMatchRaster(t *testing.T) {
+	clip, err := Generate(DefaultConfig(128, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range clip.Rects {
+		midY, midX := (r.Y0+r.Y1)/2, (r.X0+r.X1)/2
+		if clip.Target.At(midY, midX) != 1 {
+			t.Fatalf("rect %+v centre not rasterised", r)
+		}
+	}
+}
+
+func TestTracksHaveMinimumWidth(t *testing.T) {
+	cfg := DefaultConfig(128, 17)
+	cfg.Vertical = false
+	clip, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every generated rectangle is at least WireWidth wide in both axes.
+	for _, r := range clip.Rects {
+		if r.Y1-r.Y0 < cfg.WireWidth || r.X1-r.X0 < cfg.WireWidth {
+			t.Fatalf("rect %+v thinner than wire width %d", r, cfg.WireWidth)
+		}
+	}
+}
+
+func TestSuite(t *testing.T) {
+	clips, err := Suite(5, 128, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clips) != 5 {
+		t.Fatalf("got %d clips", len(clips))
+	}
+	if clips[0].ID != "case1" || clips[4].ID != "case5" {
+		t.Fatalf("bad IDs: %s %s", clips[0].ID, clips[4].ID)
+	}
+	// Suite must be reproducible and clips distinct.
+	again, err := Suite(5, 128, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range clips {
+		if !clips[i].Target.Equal(again[i].Target) {
+			t.Fatalf("clip %d not reproducible", i)
+		}
+	}
+	if clips[0].Target.Equal(clips[1].Target) {
+		t.Fatal("suite clips should differ")
+	}
+	// Both routing orientations must appear.
+	sawV, sawH := false, false
+	for _, c := range clips {
+		if DefaultConfig(128, c.Seed).Vertical {
+			sawV = true
+		} else {
+			sawH = true
+		}
+	}
+	if !sawV || !sawH {
+		t.Fatal("suite should mix horizontal and vertical clips")
+	}
+}
+
+func TestClearOf(t *testing.T) {
+	rects := []Rect{{10, 10, 20, 20}}
+	if clearOf(Rect{21, 10, 30, 20}, rects, 2) {
+		t.Fatal("rect 1px away must violate a 2px gap")
+	}
+	if !clearOf(Rect{22, 10, 30, 20}, rects, 2) {
+		t.Fatal("rect 2px away must satisfy a 2px gap")
+	}
+}
+
+func TestRectsRoundTrip(t *testing.T) {
+	clip, err := Generate(DefaultConfig(128, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteRects(&buf, clip); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRects(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != clip.ID || back.Seed != clip.Seed {
+		t.Fatalf("metadata %q/%d", back.ID, back.Seed)
+	}
+	if !back.Target.Equal(clip.Target) {
+		t.Fatal("re-rasterised clip differs")
+	}
+}
+
+func TestReadRectsErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"garbage\n",
+		"CLIP a SEED 1 SIZE 16 16\nRECT 0 0 20 20\nEND\n", // out of bounds
+		"CLIP a SEED 1 SIZE 16 16\nRECT 4 4 2 2\nEND\n",   // inverted
+		"CLIP a SEED 1 SIZE 16 16\nRECT 0 0 4 4\n",        // missing END
+		"CLIP a SEED 1 SIZE 16 8\nEND\n",                  // non-square
+	}
+	for i, c := range cases {
+		if _, err := ReadRects(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d should fail", i)
+		}
+	}
+}
+
+func TestFromRects(t *testing.T) {
+	c, err := FromRects("manual", 32, []Rect{{4, 4, 10, 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.AreaPx() != 6*16 {
+		t.Fatalf("area %d", c.AreaPx())
+	}
+	if _, err := FromRects("bad", 32, []Rect{{0, 0, 40, 4}}); err == nil {
+		t.Fatal("out-of-bounds rect accepted")
+	}
+	if _, err := FromRects("bad", 0, nil); err == nil {
+		t.Fatal("zero size accepted")
+	}
+}
+
+func BenchmarkGenerate256(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(DefaultConfig(256, int64(i+1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package layout
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteRects serialises a clip's generating geometry in a minimal
+// GDS-like text format, one rectangle per line:
+//
+//	RECT y0 x0 y1 x1
+//
+// preceded by a header carrying the clip metadata. The format lets
+// external tools (or a future GDSII exporter) consume the benchmark
+// geometry without rasterising.
+func WriteRects(w io.Writer, c *Clip) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "CLIP %s SEED %d SIZE %d %d\n", c.ID, c.Seed, c.Target.H, c.Target.W); err != nil {
+		return err
+	}
+	for _, r := range c.Rects {
+		if _, err := fmt.Fprintf(bw, "RECT %d %d %d %d\n", r.Y0, r.X0, r.Y1, r.X1); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(bw, "END"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadRects parses the WriteRects format and re-rasterises the clip.
+func ReadRects(r io.Reader) (*Clip, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("layout: empty rect stream")
+	}
+	var (
+		clip Clip
+		h, w int
+	)
+	if _, err := fmt.Sscanf(sc.Text(), "CLIP %s SEED %d SIZE %d %d", &clip.ID, &clip.Seed, &h, &w); err != nil {
+		return nil, fmt.Errorf("layout: bad header %q: %w", sc.Text(), err)
+	}
+	if h <= 0 || w <= 0 || h != w {
+		return nil, fmt.Errorf("layout: bad clip size %dx%d", h, w)
+	}
+	ended := false
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "END" {
+			ended = true
+			break
+		}
+		var r Rect
+		if _, err := fmt.Sscanf(line, "RECT %d %d %d %d", &r.Y0, &r.X0, &r.Y1, &r.X1); err != nil {
+			return nil, fmt.Errorf("layout: bad rect %q: %w", line, err)
+		}
+		if r.Y0 < 0 || r.X0 < 0 || r.Y1 > h || r.X1 > w || r.Y0 >= r.Y1 || r.X0 >= r.X1 {
+			return nil, fmt.Errorf("layout: rect %+v out of bounds for %dx%d", r, h, w)
+		}
+		clip.Rects = append(clip.Rects, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !ended {
+		return nil, fmt.Errorf("layout: missing END marker")
+	}
+	clip.Target = rasterise(h, clip.Rects)
+	return &clip, nil
+}
+
+// FromRects builds a clip directly from rectangles — the entry point
+// for externally-supplied geometry.
+func FromRects(id string, size int, rects []Rect) (*Clip, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("layout: bad size %d", size)
+	}
+	for _, r := range rects {
+		if r.Y0 < 0 || r.X0 < 0 || r.Y1 > size || r.X1 > size || r.Y0 >= r.Y1 || r.X0 >= r.X1 {
+			return nil, fmt.Errorf("layout: rect %+v out of bounds for %d", r, size)
+		}
+	}
+	c := &Clip{ID: id, Rects: append([]Rect(nil), rects...)}
+	c.Target = rasterise(size, c.Rects)
+	return c, nil
+}

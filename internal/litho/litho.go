@@ -1,0 +1,371 @@
+// Package litho implements the forward lithography model of the paper
+// (Section 2.1) and its adjoint, which together drive every ILT solver
+// in this repository:
+//
+//   - Aerial image by the Hopkins/SOCS sum of Eq. (1), evaluated with
+//     FFTs per Eq. (2).
+//   - Large-area simulation on sN×sN layouts via fractional-frequency
+//     kernel resampling, Eq. (3).
+//   - Coarse-grid simulation of factor-s downsampled masks, Eq. (9).
+//   - A constant-threshold photoresist for inspection (Eq. 4) and a
+//     sigmoid-relaxed resist for gradient-based optimisation.
+//   - Process corners for the PVBand metric (Definition 3): defocus
+//     with -2% dose ("inner") and nominal focus with +2% dose
+//     ("outer").
+//
+// The adjoint gradient of the resist L2 loss is computed entirely in
+// the frequency domain; see lossGradCondition for the derivation.
+package litho
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"mgsilt/internal/fft"
+	"mgsilt/internal/grid"
+	"mgsilt/internal/kernels"
+)
+
+// Focus selects between the nominal-focus and defocused kernel sets.
+type Focus int
+
+const (
+	FocusNominal Focus = iota
+	FocusDefocus
+)
+
+// Condition is a process condition: a focus setting plus a dose factor
+// that scales the aerial intensity.
+type Condition struct {
+	Focus Focus
+	Dose  float64
+}
+
+// Config holds the resist and process-window parameters.
+type Config struct {
+	// Threshold is the constant resist threshold of Eq. (4). The
+	// ICCAD-2013 value 0.225 places the printed edge of a large
+	// feature at its drawn edge (field amplitude 0.5 → intensity 0.25).
+	Threshold float64
+	// SigmoidSteep is the steepness of the sigmoid resist relaxation
+	// used during optimisation.
+	SigmoidSteep float64
+	// DoseDelta is the ± dose variation of the process window (0.02
+	// in the paper).
+	DoseDelta float64
+}
+
+// DefaultConfig returns the resist parameters used by the experiment
+// suite.
+func DefaultConfig() Config {
+	return Config{Threshold: 0.225, SigmoidSteep: 40, DoseDelta: 0.02}
+}
+
+// Simulator evaluates the forward model and its adjoint for one pair
+// of kernel sets. It is safe for concurrent use; resampled kernel sets
+// are cached per (focus, grid size, stretch).
+type Simulator struct {
+	n   int
+	cfg Config
+
+	nominal *kernels.Set
+	defocus *kernels.Set
+
+	mu    sync.Mutex
+	cache map[prepKey]*prepared
+}
+
+type prepKey struct {
+	focus   Focus
+	size    int
+	stretch int
+}
+
+// prepared holds corner-layout kernel spectra ready for FFT pipelines,
+// plus the frequency-flipped versions used by the adjoint pass.
+type prepared struct {
+	weights []float64
+	freq    []*grid.CMat // H(f), corner layout
+	flipped []*grid.CMat // H(-f), corner layout
+}
+
+// New builds a Simulator from a nominal and a defocused kernel set,
+// which must share the same native grid size.
+func New(nominal, defocus *kernels.Set, cfg Config) (*Simulator, error) {
+	if nominal == nil || defocus == nil {
+		return nil, fmt.Errorf("litho: both kernel sets are required")
+	}
+	if nominal.N != defocus.N {
+		return nil, fmt.Errorf("litho: kernel grids differ: %d vs %d", nominal.N, defocus.N)
+	}
+	if cfg.Threshold <= 0 || cfg.Threshold >= 1 {
+		return nil, fmt.Errorf("litho: threshold %v out of (0,1)", cfg.Threshold)
+	}
+	if cfg.SigmoidSteep <= 0 {
+		return nil, fmt.Errorf("litho: sigmoid steepness must be positive")
+	}
+	if cfg.DoseDelta < 0 || cfg.DoseDelta >= 1 {
+		return nil, fmt.Errorf("litho: dose delta %v out of [0,1)", cfg.DoseDelta)
+	}
+	return &Simulator{
+		n:       nominal.N,
+		cfg:     cfg,
+		nominal: nominal,
+		defocus: defocus,
+		cache:   map[prepKey]*prepared{},
+	}, nil
+}
+
+// N returns the native simulation grid size.
+func (s *Simulator) N() int { return s.n }
+
+// Config returns the resist configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// Nominal returns the nominal process condition.
+func (s *Simulator) Nominal() Condition { return Condition{FocusNominal, 1} }
+
+// Inner returns the inner process-window corner of Definition 3:
+// defocus with -DoseDelta dose.
+func (s *Simulator) Inner() Condition { return Condition{FocusDefocus, 1 - s.cfg.DoseDelta} }
+
+// Outer returns the outer process-window corner of Definition 3:
+// nominal focus with +DoseDelta dose.
+func (s *Simulator) Outer() Condition { return Condition{FocusNominal, 1 + s.cfg.DoseDelta} }
+
+func (s *Simulator) preparedFor(focus Focus, size, stretch int) *prepared {
+	key := prepKey{focus, size, stretch}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.cache[key]; ok {
+		return p
+	}
+	src := s.nominal
+	if focus == FocusDefocus {
+		src = s.defocus
+	}
+	rs := src.Resampled(size, stretch)
+	p := &prepared{}
+	for _, k := range rs.Kernels {
+		corner := fft.ToCorner(k.Freq)
+		p.weights = append(p.weights, k.Weight)
+		p.freq = append(p.freq, corner)
+		p.flipped = append(p.flipped, fft.FlipFreq(corner))
+	}
+	s.cache[key] = p
+	return p
+}
+
+// checkMask validates the geometry of a full-resolution mask: square,
+// power-of-two multiple of N.
+func (s *Simulator) checkMask(mask *grid.Mat) {
+	if mask.H != mask.W {
+		panic(fmt.Sprintf("litho: mask must be square, got %dx%d", mask.H, mask.W))
+	}
+	if mask.H%s.n != 0 || !fft.IsPow2(mask.H/s.n) {
+		panic(fmt.Sprintf("litho: mask size %d is not a power-of-two multiple of N=%d", mask.H, s.n))
+	}
+}
+
+// kernelStretch converts grid size plus pixel stretch into the kernel
+// resampling factor of fft.ResampleCentered. A mask of size G whose
+// pixels each span p fine pixels covers G·p fine pixels, so frequency
+// bin u corresponds to u/(G·p) cycles per fine pixel, which sits at
+// index u·N/(G·p) of the native kernel grid: the kernels must be
+// stretched by G·p/N. This unifies Eq. (3) (G = sN, p = 1 → s) and
+// Eq. (9) (G = N, p = s → s), and covers the sub-native grids used by
+// the multi-level solver (G = N/2, p = 2 → 1).
+func (s *Simulator) kernelStretch(size, pixelStretch int) int {
+	t := size * pixelStretch
+	if t%s.n != 0 || t/s.n < 1 {
+		panic(fmt.Sprintf("litho: grid %d with stretch %d does not cover a multiple of N=%d", size, pixelStretch, s.n))
+	}
+	return t / s.n
+}
+
+// Aerial computes the aerial image of a full-resolution mask under the
+// given condition's focus. The mask must be sN×sN for power-of-two s;
+// larger-than-native masks use the Eq. (3) resampled kernels. Dose is
+// not applied here — it scales intensity at the resist (see Wafer).
+func (s *Simulator) Aerial(mask *grid.Mat, cond Condition) *grid.Mat {
+	s.checkMask(mask)
+	return s.aerial(mask, 1, cond.Focus)
+}
+
+// AerialScaled computes the coarse-grid aerial image of Eq. (9): mask
+// is a factor-`stretch` downsampled representation (each mask pixel
+// spans stretch fine pixels), simulated with stretched kernels on the
+// mask's own grid.
+func (s *Simulator) AerialScaled(mask *grid.Mat, stretch int, cond Condition) *grid.Mat {
+	if mask.H != mask.W || !fft.IsPow2(mask.H) {
+		panic(fmt.Sprintf("litho: scaled mask must be square power-of-two, got %dx%d", mask.H, mask.W))
+	}
+	if stretch < 1 {
+		panic("litho: stretch must be >= 1")
+	}
+	return s.aerial(mask, stretch, cond.Focus)
+}
+
+func (s *Simulator) aerial(mask *grid.Mat, pixelStretch int, focus Focus) *grid.Mat {
+	p := s.preparedFor(focus, mask.H, s.kernelStretch(mask.H, pixelStretch))
+	fm := grid.GetCMat(mask.H, mask.W).FromReal(mask)
+	fft.Forward2D(fm)
+	intensity := grid.NewMat(mask.H, mask.W)
+	buf := grid.GetCMat(mask.H, mask.W)
+	for i, h := range p.freq {
+		copy(buf.Data, fm.Data)
+		buf.MulElem(h)
+		fft.Inverse2D(buf)
+		buf.AddAbsSqScaled(intensity, p.weights[i])
+	}
+	grid.PutCMat(fm)
+	grid.PutCMat(buf)
+	return intensity
+}
+
+// PrintResist thresholds an aerial image into a binary wafer image at
+// the given dose: Z = 1 where dose·I > threshold.
+func (s *Simulator) PrintResist(aerial *grid.Mat, dose float64) *grid.Mat {
+	return aerial.Binarize(s.cfg.Threshold / dose)
+}
+
+// Wafer runs the full mask→wafer pipeline of Eq. (4) at full
+// resolution: aerial image followed by the constant-threshold resist.
+func (s *Simulator) Wafer(mask *grid.Mat, cond Condition) *grid.Mat {
+	return s.PrintResist(s.Aerial(mask, cond), cond.Dose)
+}
+
+// WaferScaled is Wafer for coarse-grid masks (see AerialScaled).
+func (s *Simulator) WaferScaled(mask *grid.Mat, stretch int, cond Condition) *grid.Mat {
+	return s.PrintResist(s.AerialScaled(mask, stretch, cond), cond.Dose)
+}
+
+// SigmoidResist applies the relaxed resist to an aerial image:
+// Z = σ(steep·(dose·I − threshold)).
+func (s *Simulator) SigmoidResist(aerial *grid.Mat, dose float64) *grid.Mat {
+	out := grid.NewMat(aerial.H, aerial.W)
+	steep := s.cfg.SigmoidSteep
+	th := s.cfg.Threshold
+	for i, v := range aerial.Data {
+		out.Data[i] = sigmoid(steep * (dose*v - th))
+	}
+	return out
+}
+
+func sigmoid(x float64) float64 {
+	// Guard both tails to keep exp from overflowing.
+	switch {
+	case x > 40:
+		return 1
+	case x < -40:
+		return 0
+	}
+	return 1 / (1 + math.Exp(-x))
+}
+
+// LossOpts configures LossGrad.
+type LossOpts struct {
+	// Stretch is the pixel stretch factor: 1 for full-resolution
+	// masks whose size equals their area, s for coarse-grid masks
+	// downsampled by s (Eq. 9).
+	Stretch int
+	// PVWeight, when positive, adds the process-window corners to the
+	// loss: L = L2(nominal) + PVWeight·(L2(inner) + L2(outer)), the
+	// standard robust-ILT objective.
+	PVWeight float64
+}
+
+// LossGrad evaluates the sigmoid-resist L2 loss against target and its
+// gradient with respect to the (continuous, full-range) mask pixels.
+// mask and target must have the same square power-of-two shape.
+func (s *Simulator) LossGrad(mask, target *grid.Mat, opts LossOpts) (float64, *grid.Mat) {
+	if !mask.SameShape(target) {
+		panic(fmt.Sprintf("litho: mask %dx%d vs target %dx%d", mask.H, mask.W, target.H, target.W))
+	}
+	stretch := opts.Stretch
+	if stretch < 1 {
+		panic("litho: LossOpts.Stretch must be >= 1")
+	}
+	ks := s.kernelStretch(mask.H, stretch)
+	grad := grid.NewMat(mask.H, mask.W)
+	fm := grid.GetCMat(mask.H, mask.W).FromReal(mask)
+	fft.Forward2D(fm)
+	loss := s.lossGradCondition(fm, target, s.Nominal(), ks, 1, grad)
+	if opts.PVWeight > 0 {
+		loss += s.lossGradCondition(fm, target, s.Inner(), ks, opts.PVWeight, grad)
+		loss += s.lossGradCondition(fm, target, s.Outer(), ks, opts.PVWeight, grad)
+	}
+	grid.PutCMat(fm)
+	return loss, grad
+}
+
+// lossGradCondition accumulates weight·∇L_cond into grad and returns
+// weight·L_cond, where L_cond = Σ (Z − Z_t)² with Z the sigmoid resist
+// under the given condition.
+//
+// Derivation: with A_k = F⁻¹(H_k ⊙ F(M)) and I = Σ w_k|A_k|²,
+// perturbing the real mask gives δI = Σ 2 w_k Re[conj(A_k)·(h_k ⊗ δM)],
+// so with g = ∂L/∂I,
+//
+//	∇_M L = Σ_k 2 w_k Re[ F⁻¹( H_k(-f) ⊙ F(g ⊙ conj(A_k)) ) ],
+//
+// where H(-f) is the spectrum of the coordinate-reversed kernel (the
+// correlation/adjoint kernel). The per-kernel terms are accumulated in
+// the frequency domain so only one inverse transform is needed.
+func (s *Simulator) lossGradCondition(fm *grid.CMat, target *grid.Mat, cond Condition, kernelStretch int, weight float64, grad *grid.Mat) float64 {
+	size := fm.H
+	p := s.preparedFor(cond.Focus, size, kernelStretch)
+
+	// Forward pass: fields and intensity. The field buffers come from
+	// the pool — a LossGrad evaluation otherwise allocates (kernels+4)
+	// full-size matrices per call, which keeps the garbage collector
+	// inside the optimisation loop.
+	fields := make([]*grid.CMat, len(p.freq))
+	intensity := grid.GetMat(size, size).Zero()
+	for i, h := range p.freq {
+		a := grid.GetCMat(size, size)
+		copy(a.Data, fm.Data)
+		a.MulElem(h)
+		fft.Inverse2D(a)
+		a.AddAbsSqScaled(intensity, p.weights[i])
+		fields[i] = a
+	}
+
+	// Resist and loss.
+	steep, th, dose := s.cfg.SigmoidSteep, s.cfg.Threshold, cond.Dose
+	loss := 0.0
+	g := grid.GetMat(size, size) // ∂L/∂I, fully overwritten below
+	for i, v := range intensity.Data {
+		z := sigmoid(steep * (dose*v - th))
+		d := z - target.Data[i]
+		loss += d * d
+		g.Data[i] = 2 * d * steep * dose * z * (1 - z)
+	}
+
+	// Adjoint pass, accumulated in the frequency domain.
+	acc := grid.GetCMat(size, size).Zero()
+	q := grid.GetCMat(size, size)
+	for i, a := range fields {
+		for j, av := range a.Data {
+			// q = g ⊙ conj(A_k)
+			q.Data[j] = complex(g.Data[j], 0) * complex(real(av), -imag(av))
+		}
+		fft.Forward2D(q)
+		w := complex(2*p.weights[i], 0)
+		fl := p.flipped[i]
+		for j := range acc.Data {
+			acc.Data[j] += w * fl.Data[j] * q.Data[j]
+		}
+		grid.PutCMat(a)
+	}
+	fft.Inverse2D(acc)
+	for j := range grad.Data {
+		grad.Data[j] += weight * real(acc.Data[j])
+	}
+	grid.PutMat(intensity)
+	grid.PutMat(g)
+	grid.PutCMat(acc)
+	grid.PutCMat(q)
+	return weight * loss
+}

@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"mgsilt/internal/grid"
+	"mgsilt/internal/litho"
+)
+
+// EPEConfig parameterises edge-placement-error measurement.
+type EPEConfig struct {
+	// Step samples every Step-th contour pixel of the target.
+	Step int
+	// MaxSearch is how far (px) to search for the printed contour
+	// along the edge normal before declaring the edge lost.
+	MaxSearch int
+	// Tolerance is the |EPE| above which a sample point counts as a
+	// violation (the industry check is a few nm).
+	Tolerance float64
+}
+
+// DefaultEPEConfig is proportioned to the suite's 10 px wires.
+func DefaultEPEConfig() EPEConfig {
+	return EPEConfig{Step: 4, MaxSearch: 8, Tolerance: 2}
+}
+
+// EPEResult summarises an EPE measurement.
+type EPEResult struct {
+	Samples    int     // contour points measured
+	Lost       int     // points where no printed edge was found in range
+	Violations int     // |EPE| > tolerance (lost points count as violations)
+	MeanAbs    float64 // mean |EPE| over found points, in px
+	MaxAbs     float64 // worst |EPE| over found points, in px
+}
+
+// EPE measures edge placement error: for sample points along the
+// target contour, the signed distance from the drawn edge to the
+// printed wafer contour along the edge normal. It is the standard OPC
+// acceptance metric and complements the paper's area-based L2 loss
+// with an edge-based view.
+func EPE(sim *litho.Simulator, mask, target *grid.Mat, cfg EPEConfig) (*EPEResult, error) {
+	if cfg.Step < 1 || cfg.MaxSearch < 1 || cfg.Tolerance < 0 {
+		return nil, fmt.Errorf("metrics: invalid EPE config %+v", cfg)
+	}
+	if !mask.SameShape(target) {
+		return nil, fmt.Errorf("metrics: mask %dx%d vs target %dx%d", mask.H, mask.W, target.H, target.W)
+	}
+	wafer := sim.Wafer(mask, sim.Nominal())
+	res := &EPEResult{}
+	count := 0
+	inTarget := func(y, x int) bool {
+		return y >= 0 && y < target.H && x >= 0 && x < target.W && target.At(y, x) > 0.5
+	}
+	inWafer := func(y, x float64) bool {
+		yi, xi := int(math.Round(y)), int(math.Round(x))
+		return yi >= 0 && yi < wafer.H && xi >= 0 && xi < wafer.W && wafer.At(yi, xi) > 0.5
+	}
+	for y := 0; y < target.H; y++ {
+		for x := 0; x < target.W; x++ {
+			if !inTarget(y, x) {
+				continue
+			}
+			// Contour pixel: target pixel with a background 4-neighbour.
+			ny := boolToF(!inTarget(y-1, x)) - boolToF(!inTarget(y+1, x))
+			nx := boolToF(!inTarget(y, x-1)) - boolToF(!inTarget(y, x+1))
+			if ny == 0 && nx == 0 {
+				continue // interior
+			}
+			count++
+			if count%cfg.Step != 0 {
+				continue
+			}
+			res.Samples++
+			// Outward normal (toward background): ny is +1 when the
+			// background sits above (smaller y), so the outward step
+			// is -ny in image coordinates.
+			norm := math.Hypot(ny, nx)
+			dy, dx := -ny/norm, -nx/norm
+
+			epe, found := traceEdge(inWafer, float64(y), float64(x), dy, dx, cfg.MaxSearch)
+			if !found {
+				res.Lost++
+				res.Violations++
+				continue
+			}
+			a := math.Abs(epe)
+			res.MeanAbs += a
+			if a > res.MaxAbs {
+				res.MaxAbs = a
+			}
+			if a > cfg.Tolerance {
+				res.Violations++
+			}
+		}
+	}
+	if n := res.Samples - res.Lost; n > 0 {
+		res.MeanAbs /= float64(n)
+	}
+	return res, nil
+}
+
+func boolToF(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// traceEdge walks from the target edge point along the outward normal
+// (dy,dx) to find the printed contour crossing, returning the signed
+// distance: positive when the printed edge lies outside the drawn edge
+// (over-print), negative when it lies inside (under-print).
+func traceEdge(inWafer func(y, x float64) bool, y, x, dy, dx float64, maxSearch int) (float64, bool) {
+	if inWafer(y, x) {
+		// The wafer covers the drawn edge: the printed contour is
+		// somewhere outward.
+		for step := 0.5; step <= float64(maxSearch); step += 0.5 {
+			if !inWafer(y+dy*step, x+dx*step) {
+				return step - 0.25, true
+			}
+		}
+		return 0, false
+	}
+	// Under-print: the printed contour retreated inward.
+	for step := 0.5; step <= float64(maxSearch); step += 0.5 {
+		if inWafer(y-dy*step, x-dx*step) {
+			return -(step - 0.25), true
+		}
+	}
+	return 0, false
+}

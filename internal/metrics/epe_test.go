@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"mgsilt/internal/grid"
+)
+
+func TestEPEConfigValidation(t *testing.T) {
+	sim := testSim(t)
+	m := grid.NewMat(64, 64)
+	if _, err := EPE(sim, m, m, EPEConfig{Step: 0, MaxSearch: 4, Tolerance: 1}); err == nil {
+		t.Fatal("zero step accepted")
+	}
+	if _, err := EPE(sim, m, grid.NewMat(32, 32), DefaultEPEConfig()); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestEPESelfPrintIsTight(t *testing.T) {
+	sim := testSim(t)
+	// A large feature printed from its own target: edges land close to
+	// the drawn position (that is what the 0.225 threshold is for).
+	target := grid.NewMat(64, 64)
+	for y := 16; y < 48; y++ {
+		for x := 12; x < 52; x++ {
+			target.Set(y, x, 1)
+		}
+	}
+	res, err := EPE(sim, target, target, DefaultEPEConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples == 0 {
+		t.Fatal("no contour samples")
+	}
+	if res.MeanAbs > 2.5 {
+		t.Fatalf("self-print mean |EPE| %v too large", res.MeanAbs)
+	}
+	if res.Lost > res.Samples/4 {
+		t.Fatalf("too many lost edges: %d of %d", res.Lost, res.Samples)
+	}
+}
+
+func TestEPEBlankMaskLosesEveryEdge(t *testing.T) {
+	sim := testSim(t)
+	target := grid.NewMat(64, 64)
+	for y := 24; y < 40; y++ {
+		for x := 16; x < 48; x++ {
+			target.Set(y, x, 1)
+		}
+	}
+	res, err := EPE(sim, grid.NewMat(64, 64), target, DefaultEPEConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost != res.Samples || res.Violations != res.Samples {
+		t.Fatalf("blank mask: %d lost, %d violations of %d samples", res.Lost, res.Violations, res.Samples)
+	}
+}
+
+func TestEPESignOfBias(t *testing.T) {
+	sim := testSim(t)
+	target := grid.NewMat(64, 64)
+	for y := 20; y < 44; y++ {
+		for x := 16; x < 48; x++ {
+			target.Set(y, x, 1)
+		}
+	}
+	// An over-sized mask prints beyond the drawn edge: mean signed EPE
+	// is positive. We check via violations asymmetry of biased masks.
+	grown := grid.NewMat(64, 64)
+	for y := 17; y < 47; y++ {
+		for x := 13; x < 51; x++ {
+			grown.Set(y, x, 1)
+		}
+	}
+	shrunk := grid.NewMat(64, 64)
+	for y := 23; y < 41; y++ {
+		for x := 19; x < 45; x++ {
+			shrunk.Set(y, x, 1)
+		}
+	}
+	gRes, err := EPE(sim, grown, target, DefaultEPEConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sRes, err := EPE(sim, shrunk, target, DefaultEPEConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both biased masks place edges away from the drawn contour.
+	if gRes.MeanAbs < 1 || sRes.MeanAbs < 1 {
+		t.Fatalf("biased masks should show clear EPE: grown %v, shrunk %v", gRes.MeanAbs, sRes.MeanAbs)
+	}
+	// And both should be worse than the self-print mask.
+	self, err := EPE(sim, target, target, DefaultEPEConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(gRes.MeanAbs > self.MeanAbs && sRes.MeanAbs > self.MeanAbs) {
+		t.Fatalf("bias not visible: self %v grown %v shrunk %v", self.MeanAbs, gRes.MeanAbs, sRes.MeanAbs)
+	}
+}
+
+func TestTraceEdgeDirectly(t *testing.T) {
+	// Synthetic wafer indicator: everything with x < 10.25 is printed.
+	in := func(y, x float64) bool { return x < 10.25 }
+	// Drawn edge at x=10 (inside the print): printed edge slightly
+	// outward → small positive EPE.
+	epe, found := traceEdge(in, 0, 10, 0, 1, 8)
+	if !found || epe <= 0 {
+		t.Fatalf("expected small positive EPE, got %v (found=%v)", epe, found)
+	}
+	// Drawn edge at x=14 (outside the print): under-print → negative.
+	epe, found = traceEdge(in, 0, 14, 0, 1, 8)
+	if !found || epe >= 0 {
+		t.Fatalf("expected negative EPE, got %v (found=%v)", epe, found)
+	}
+	if math.Abs(epe) < 3 {
+		t.Fatalf("under-print magnitude %v too small", epe)
+	}
+	// No edge within range.
+	if _, found := traceEdge(func(float64, float64) bool { return true }, 0, 0, 0, 1, 4); found {
+		t.Fatal("edge should be lost when wafer never ends")
+	}
+}

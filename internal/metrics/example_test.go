@@ -1,0 +1,38 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"mgsilt/internal/grid"
+	"mgsilt/internal/metrics"
+	"mgsilt/internal/tile"
+)
+
+// ExampleStitchLoss contrasts a continuous wire with one that jags at
+// the stitch boundary — the Definition 1 measurement.
+func ExampleStitchLoss() {
+	cfg := metrics.StitchConfig{Sigma: 0.8, Iters: 3, Window: 16}
+	lines := []tile.StitchLine{{Vertical: true, Pos: 32, Lo: 0, Hi: 64}}
+
+	wire := func(offset int) *grid.Mat {
+		m := grid.NewMat(64, 64)
+		for x := 0; x < 64; x++ {
+			y0 := 28
+			if x >= 32 {
+				y0 += offset
+			}
+			for y := y0; y < y0+8; y++ {
+				m.Set(y, x, 1)
+			}
+		}
+		return m
+	}
+
+	straight, _ := metrics.StitchLoss(wire(0), lines, cfg)
+	jagged, errs := metrics.StitchLoss(wire(4), lines, cfg)
+	fmt.Printf("straight wire: %.0f\n", straight)
+	fmt.Printf("jagged wire:   %.0f (at %d crossing)\n", jagged, len(errs))
+	// Output:
+	// straight wire: 0
+	// jagged wire:   4 (at 1 crossing)
+}

@@ -1,0 +1,178 @@
+// Package opt provides the single-tile ILT solvers φ(·) plugged into
+// the frameworks of internal/core:
+//
+//   - Pixel: sigmoid-parameterised pixel-based ILT with Adam — the
+//     work-horse solver used inside the multigrid-Schwarz flow.
+//   - LevelSet: a level-set mask evolution reproducing the behaviour
+//     of "GLS-ILT" [3] (clean contours, no SRAF nucleation).
+//   - MultiLevel: a coarse-to-fine litho-resolution schedule
+//     reproducing "Multi-level-ILT" [4] (best quality, most SRAFs).
+//
+// All solvers consume and produce continuous masks in [0,1]; callers
+// binarise at 0.5 for inspection.
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"mgsilt/internal/grid"
+	"mgsilt/internal/litho"
+)
+
+// Params are the per-call knobs of a Solve invocation.
+type Params struct {
+	// Iters is the number of optimisation iterations.
+	Iters int
+	// LR is the learning rate (solver-specific scale).
+	LR float64
+	// Stretch is the litho pixel-stretch factor: 1 for full
+	// resolution, s for coarse-grid masks downsampled by s (Eq. 9).
+	Stretch int
+	// PVWeight adds process-window corners to the objective.
+	PVWeight float64
+	// Plain selects plain normalised gradient descent instead of the
+	// solver's adaptive optimiser. The refine pass of the multi-colour
+	// Schwarz method uses it: single Adam iterations degenerate into
+	// ±lr sign steps (the bias-corrected m̂/√v̂ is ±1 on the first
+	// step), which injects noise instead of the intended small
+	// adjustment.
+	Plain bool
+	// Freeze, when non-nil, marks pixels (value ≥ 0.5) that must keep
+	// their initial values during the solve — the Dirichlet boundary
+	// condition of the modified Schwarz method (Eq. 11): margin pixels
+	// hold the adjacent tiles' data so the subdomain solve cannot
+	// contradict its neighbours. Must match the mask shape.
+	Freeze *grid.Mat
+}
+
+// maskFrozen zeroes gradient entries at frozen pixels.
+func maskFrozen(gradient []float64, freeze *grid.Mat) {
+	if freeze == nil {
+		return
+	}
+	for i, f := range freeze.Data {
+		if f >= 0.5 {
+			gradient[i] = 0
+		}
+	}
+}
+
+// restoreFrozen copies the initial values back into frozen pixels,
+// guaranteeing the Dirichlet data survives parameterisation round
+// trips (e.g. the sigmoid/logit clamp at the poles).
+func restoreFrozen(out, init, freeze *grid.Mat) {
+	if freeze == nil {
+		return
+	}
+	for i, f := range freeze.Data {
+		if f >= 0.5 {
+			out.Data[i] = init.Data[i]
+		}
+	}
+}
+
+func (p Params) validate() error {
+	if p.Iters < 0 {
+		return fmt.Errorf("opt: negative iteration count %d", p.Iters)
+	}
+	if p.LR <= 0 {
+		return fmt.Errorf("opt: learning rate %v must be positive", p.LR)
+	}
+	if p.Stretch < 1 {
+		return fmt.Errorf("opt: stretch %d must be >= 1", p.Stretch)
+	}
+	if p.PVWeight < 0 {
+		return fmt.Errorf("opt: negative PV weight %v", p.PVWeight)
+	}
+	return nil
+}
+
+func (p Params) validateFor(mask *grid.Mat) error {
+	if err := p.validate(); err != nil {
+		return err
+	}
+	if p.Freeze != nil && !p.Freeze.SameShape(mask) {
+		return fmt.Errorf("opt: freeze mask %dx%d does not match %dx%d", p.Freeze.H, p.Freeze.W, mask.H, mask.W)
+	}
+	return nil
+}
+
+// Solver is the single-tile ILT solver interface φ(·) of Algorithm 1.
+type Solver interface {
+	// Solve optimises a continuous mask toward printing target,
+	// starting from init (not mutated). target and init must share a
+	// square power-of-two shape compatible with the solver's
+	// simulator.
+	Solve(target, init *grid.Mat, p Params) (*grid.Mat, error)
+	// Name identifies the solver in reports.
+	Name() string
+}
+
+// Adam is a standard Adam optimiser over a flat parameter vector.
+type Adam struct {
+	Beta1, Beta2, Eps float64
+	m, v              []float64
+	t                 int
+}
+
+// NewAdam returns an Adam optimiser with the customary defaults.
+func NewAdam(n int) *Adam {
+	return &Adam{
+		Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make([]float64, n), v: make([]float64, n),
+	}
+}
+
+// Step applies one bias-corrected Adam update: params -= lr·m̂/(√v̂+ε).
+func (a *Adam) Step(params, gradient []float64, lr float64) {
+	if len(params) != len(a.m) || len(gradient) != len(a.m) {
+		panic(fmt.Sprintf("opt: Adam size mismatch: %d params, %d grads, state %d", len(params), len(gradient), len(a.m)))
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, g := range gradient {
+		a.m[i] = a.Beta1*a.m[i] + (1-a.Beta1)*g
+		a.v[i] = a.Beta2*a.v[i] + (1-a.Beta2)*g*g
+		params[i] -= lr * (a.m[i] / c1) / (math.Sqrt(a.v[i]/c2) + a.Eps)
+	}
+}
+
+// plainStep applies max-normalised gradient descent:
+// params -= lr·g/max|g|. The normalisation makes lr an absolute step
+// size, which is what the refine pass's "small learning rate" means.
+func plainStep(params, gradient []float64, lr float64) {
+	mx := 0.0
+	for _, g := range gradient {
+		if g < 0 {
+			g = -g
+		}
+		if g > mx {
+			mx = g
+		}
+	}
+	if mx == 0 {
+		return
+	}
+	step := lr / mx
+	for i, g := range gradient {
+		params[i] -= step * g
+	}
+}
+
+// logit is the inverse sigmoid, clamped away from the poles.
+func logit(x, lo float64) float64 {
+	if x < lo {
+		x = lo
+	}
+	if x > 1-lo {
+		x = 1 - lo
+	}
+	return math.Log(x / (1 - x))
+}
+
+// sharedLossGrad evaluates the litho objective for a solver.
+func sharedLossGrad(sim *litho.Simulator, mask, target *grid.Mat, p Params) (float64, *grid.Mat) {
+	return sim.LossGrad(mask, target, litho.LossOpts{Stretch: p.Stretch, PVWeight: p.PVWeight})
+}

@@ -1,0 +1,275 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"mgsilt/internal/grid"
+	"mgsilt/internal/kernels"
+	"mgsilt/internal/litho"
+)
+
+const testN = 64
+
+func testSim(t testing.TB) *litho.Simulator {
+	t.Helper()
+	cfg := kernels.DefaultConfig(testN)
+	nom := kernels.MustGenerate(cfg)
+	def, err := kernels.Defocused(cfg, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := litho.New(nom, def, litho.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+// testTarget is a pair of wires with a jog — small enough to be hard
+// for the optics, structured enough to need real optimisation.
+func testTarget() *grid.Mat {
+	m := grid.NewMat(testN, testN)
+	for x := 8; x < 56; x++ {
+		for y := 20; y < 28; y++ {
+			m.Set(y, x, 1)
+		}
+		for y := 40; y < 48; y++ {
+			m.Set(y, x, 1)
+		}
+	}
+	for y := 20; y < 48; y++ { // jog connecting the wires
+		for x := 30; x < 38; x++ {
+			m.Set(y, x, 1)
+		}
+	}
+	return m
+}
+
+func resistLoss(t *testing.T, sim *litho.Simulator, mask, target *grid.Mat) float64 {
+	t.Helper()
+	loss, _ := sim.LossGrad(mask, target, litho.LossOpts{Stretch: 1})
+	return loss
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := Params{Iters: 1, LR: 0.1, Stretch: 1}
+	if err := good.validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{Iters: -1, LR: 0.1, Stretch: 1},
+		{Iters: 1, LR: 0, Stretch: 1},
+		{Iters: 1, LR: 0.1, Stretch: 0},
+		{Iters: 1, LR: 0.1, Stretch: 1, PVWeight: -1},
+	}
+	for i, p := range bad {
+		if err := p.validate(); err == nil {
+			t.Fatalf("params case %d should fail", i)
+		}
+	}
+}
+
+func TestAdamMinimisesQuadratic(t *testing.T) {
+	// f(x) = Σ (x_i - i)², ∇f = 2(x - target).
+	params := make([]float64, 5)
+	adam := NewAdam(5)
+	g := make([]float64, 5)
+	for it := 0; it < 500; it++ {
+		for i := range params {
+			g[i] = 2 * (params[i] - float64(i))
+		}
+		adam.Step(params, g, 0.05)
+	}
+	for i, v := range params {
+		if math.Abs(v-float64(i)) > 0.05 {
+			t.Fatalf("param %d = %v, want %d", i, v, i)
+		}
+	}
+}
+
+func TestAdamPanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAdam(3).Step(make([]float64, 4), make([]float64, 4), 0.1)
+}
+
+func TestLogitInvertsSigmoid(t *testing.T) {
+	for _, x := range []float64{0.1, 0.3, 0.5, 0.9} {
+		if got := sigmoidAt(logit(x, 1e-6)); math.Abs(got-x) > 1e-9 {
+			t.Fatalf("sigmoid(logit(%v)) = %v", x, got)
+		}
+	}
+	// Clamped extremes must stay finite.
+	if math.IsInf(logit(0, 1e-4), 0) || math.IsInf(logit(1, 1e-4), 0) {
+		t.Fatal("logit must clamp the poles")
+	}
+}
+
+func TestSignedDistanceBasic(t *testing.T) {
+	b := grid.NewMat(16, 16)
+	for y := 4; y < 12; y++ {
+		for x := 4; x < 12; x++ {
+			b.Set(y, x, 1)
+		}
+	}
+	sd := SignedDistance(b)
+	if sd.At(8, 8) <= 0 {
+		t.Fatalf("centre must be inside (positive), got %v", sd.At(8, 8))
+	}
+	if sd.At(0, 0) >= 0 {
+		t.Fatalf("corner must be outside (negative), got %v", sd.At(0, 0))
+	}
+	// Centre of an 8×8 square is ~3.5 px from the boundary.
+	if c := sd.At(8, 8); c < 2.5 || c > 4.5 {
+		t.Fatalf("centre distance %v implausible", c)
+	}
+	// Adjacent pixels across the boundary bracket zero.
+	if !(sd.At(8, 4) > 0 && sd.At(8, 3) < 0) {
+		t.Fatalf("no zero crossing at boundary: %v %v", sd.At(8, 4), sd.At(8, 3))
+	}
+}
+
+func TestSignedDistanceMonotoneFromEdge(t *testing.T) {
+	b := grid.NewMat(16, 32)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			b.Set(y, x, 1)
+		}
+	}
+	sd := SignedDistance(b)
+	// Moving right from the boundary (x=16) outward, distance becomes
+	// increasingly negative.
+	for x := 17; x < 30; x++ {
+		if sd.At(8, x) >= sd.At(8, x-1) {
+			t.Fatalf("outside distance not decreasing at x=%d", x)
+		}
+	}
+}
+
+func TestPixelSolveImproves(t *testing.T) {
+	sim := testSim(t)
+	target := testTarget()
+	solver := NewPixel(sim)
+	if solver.Name() != "pixel-ilt" {
+		t.Fatalf("name %q", solver.Name())
+	}
+	before := resistLoss(t, sim, target, target)
+	mask, err := solver.Solve(target, target, Params{Iters: 15, LR: 0.6, Stretch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := resistLoss(t, sim, mask, target)
+	if after >= before {
+		t.Fatalf("pixel ILT did not improve: %v -> %v", before, after)
+	}
+	for _, v := range mask.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("mask value %v out of range", v)
+		}
+	}
+}
+
+func TestPixelSolveRejectsBadParams(t *testing.T) {
+	solver := NewPixel(testSim(t))
+	if _, err := solver.Solve(testTarget(), testTarget(), Params{Iters: 1, LR: 0, Stretch: 1}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestPixelZeroIterationsReturnsLiftedInit(t *testing.T) {
+	solver := NewPixel(testSim(t))
+	target := testTarget()
+	mask, err := solver.Solve(target, target, Params{Iters: 0, LR: 1, Stretch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Foreground stays ~1, background is lifted to the bias, not 0.
+	if mask.At(24, 30) < 0.9 {
+		t.Fatalf("foreground %v", mask.At(24, 30))
+	}
+	if bg := mask.At(0, 0); math.Abs(bg-solver.BackgroundBias) > 0.02 {
+		t.Fatalf("background %v want ≈%v", bg, solver.BackgroundBias)
+	}
+}
+
+func TestLevelSetSolveImprovesAndStaysClean(t *testing.T) {
+	sim := testSim(t)
+	target := testTarget()
+	solver := NewLevelSet(sim)
+	if solver.Name() != "gls-ilt" {
+		t.Fatalf("name %q", solver.Name())
+	}
+	before := resistLoss(t, sim, target, target)
+	mask, err := solver.Solve(target, target, Params{Iters: 15, LR: 0.4, Stretch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := resistLoss(t, sim, mask, target)
+	if after >= before {
+		t.Fatalf("level-set ILT did not improve: %v -> %v", before, after)
+	}
+	// No SRAF nucleation: pixels far from any target shape stay dark.
+	// The target occupies y∈[20,48); the top-left corner is >12px away.
+	for y := 0; y < 6; y++ {
+		for x := 0; x < 6; x++ {
+			if mask.At(y, x) > 0.5 {
+				t.Fatalf("level-set nucleated mask at %d,%d = %v", y, x, mask.At(y, x))
+			}
+		}
+	}
+}
+
+func TestLevelSetRejectsBadParams(t *testing.T) {
+	solver := NewLevelSet(testSim(t))
+	if _, err := solver.Solve(testTarget(), testTarget(), Params{Iters: 1, LR: 0.1, Stretch: 0}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestMultiLevelSolveImproves(t *testing.T) {
+	sim := testSim(t)
+	target := testTarget()
+	solver := NewMultiLevel(sim)
+	if solver.Name() != "multi-level-ilt" {
+		t.Fatalf("name %q", solver.Name())
+	}
+	before := resistLoss(t, sim, target, target)
+	mask, err := solver.Solve(target, target, Params{Iters: 16, LR: 0.6, Stretch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := resistLoss(t, sim, mask, target)
+	if after >= before {
+		t.Fatalf("multi-level ILT did not improve: %v -> %v", before, after)
+	}
+}
+
+func TestMultiLevelValidation(t *testing.T) {
+	sim := testSim(t)
+	s := NewMultiLevel(sim)
+	s.Levels = 0
+	if _, err := s.Solve(testTarget(), testTarget(), Params{Iters: 4, LR: 0.5, Stretch: 1}); err == nil {
+		t.Fatal("expected levels error")
+	}
+	s = NewMultiLevel(sim)
+	s.CoarseFrac = 1.0
+	if _, err := s.Solve(testTarget(), testTarget(), Params{Iters: 4, LR: 0.5, Stretch: 1}); err == nil {
+		t.Fatal("expected coarse-frac error")
+	}
+}
+
+func TestMultiLevelClampsPyramidOnSmallGrids(t *testing.T) {
+	// On a 64² grid a 3-level pyramid would hit 16² (<32) at the
+	// coarsest level; the solver must clamp rather than fail.
+	sim := testSim(t)
+	s := NewMultiLevel(sim)
+	s.Levels = 3
+	target := testTarget()
+	if _, err := s.Solve(target, target, Params{Iters: 6, LR: 0.5, Stretch: 1}); err != nil {
+		t.Fatalf("clamped pyramid failed: %v", err)
+	}
+}

@@ -1,0 +1,101 @@
+package tile
+
+import (
+	"testing"
+
+	"mgsilt/internal/grid"
+)
+
+func TestFreezeMasksGeometry(t *testing.T) {
+	p := MustPart(128, 128, 64, 16)
+	const reach = 8
+	masks := p.FreezeMasks(reach)
+	if len(masks) != len(p.Tiles) {
+		t.Fatalf("%d masks", len(masks))
+	}
+	for i, s := range p.Tiles {
+		f := masks[i]
+		for y := 0; y < p.Tile; y++ {
+			for x := 0; x < p.Tile; x++ {
+				ly, lx := s.Y0+y, s.X0+x
+				inside := ly >= s.CoreY0-reach && ly < s.CoreY1+reach &&
+					lx >= s.CoreX0-reach && lx < s.CoreX1+reach
+				want := 1.0
+				if inside {
+					want = 0
+				}
+				if f.At(y, x) != want {
+					t.Fatalf("tile %d freeze at %d,%d = %v want %v", i, y, x, f.At(y, x), want)
+				}
+			}
+		}
+	}
+}
+
+func TestFreezeMasksEdgeTilesFreeToLayoutBorder(t *testing.T) {
+	p := MustPart(128, 128, 64, 16)
+	masks := p.FreezeMasks(0)
+	// The corner tile's core starts at the layout border: nothing on
+	// that side is frozen.
+	f := masks[0]
+	if f.At(0, 0) != 0 {
+		t.Fatal("corner tile frozen at the layout border")
+	}
+	// But its far side (margin toward the neighbour) is frozen.
+	if f.At(0, 63) != 1 || f.At(63, 0) != 1 {
+		t.Fatal("corner tile margin toward neighbours not frozen")
+	}
+}
+
+func TestFreezeMasksZeroReachIsCoreComplement(t *testing.T) {
+	p := MustPart(128, 128, 64, 16)
+	masks := p.FreezeMasks(0)
+	weights, err := p.Weights(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With reach 0, freeze is exactly 1 - core indicator.
+	for i := range masks {
+		for j := range masks[i].Data {
+			if masks[i].Data[j]+weights[i].Data[j] != 1 {
+				t.Fatalf("tile %d pixel %d: freeze %v + core %v != 1", i, j, masks[i].Data[j], weights[i].Data[j])
+			}
+		}
+	}
+}
+
+func TestFreezeMasksSingleTileAllFree(t *testing.T) {
+	p := MustPart(64, 64, 64, 16)
+	masks := p.FreezeMasks(4)
+	if masks[0].Sum() != 0 {
+		t.Fatal("single-tile partition must freeze nothing")
+	}
+}
+
+func TestFreezeMasksPanicOnNegativeReach(t *testing.T) {
+	p := MustPart(128, 128, 64, 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.FreezeMasks(-1)
+}
+
+func BenchmarkAssemble(b *testing.B) {
+	p := MustPart(256, 256, 128, 32)
+	layout := grid.NewMat(256, 256)
+	for i := range layout.Data {
+		layout.Data[i] = float64(i%7) / 7
+	}
+	weights, err := p.Weights(32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tiles := p.Extract(layout)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Assemble(tiles, weights)
+	}
+}
