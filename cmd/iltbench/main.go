@@ -16,19 +16,53 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"mgsilt/internal/bench"
 	"mgsilt/internal/report"
 )
+
+// jsonMethod is the machine-readable per-method metric group of one
+// experiment: the Table 1 columns (L2 / PVBand / Stitch / TAT) plus
+// the ratio row normalised against "Ours".
+type jsonMethod struct {
+	Name    string         `json:"name"`
+	Metrics report.Metrics `json:"metrics"`
+	Ratio   report.Metrics `json:"ratio"`
+}
+
+// jsonExperiment captures one experiment's output: the structured
+// per-method metrics when the experiment produces them (table1) and
+// the raw table (headers + rows) always, so perf-trajectory tooling
+// can diff any experiment across PRs.
+type jsonExperiment struct {
+	Name    string       `json:"experiment"`
+	Methods []jsonMethod `json:"methods,omitempty"`
+	Headers []string     `json:"headers"`
+	Rows    [][]string   `json:"rows"`
+}
+
+// jsonDoc is the -json output document (BENCH_*.json trajectory files).
+type jsonDoc struct {
+	GeneratedAt string           `json:"generated_at"`
+	Scale       string           `json:"scale"`
+	N           int              `json:"n"`
+	Clip        int              `json:"clip"`
+	Cases       int              `json:"cases"`
+	Iters       int              `json:"iters"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
 
 func main() {
 	var (
 		scaleName  = flag.String("scale", "small", "experiment scale: small | default | full")
 		experiment = flag.String("experiment", "table1", "table1 | fig6 | fig7 | fig8 | speedup | penalty | ablation | mrc | all")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonPath   = flag.String("json", "", "also write machine-readable per-method metrics JSON to this file")
 		verbose    = flag.Bool("v", false, "print per-run progress")
 		devices    = flag.Int("devices", 4, "maximum simulated devices for the speedup sweep")
 	)
@@ -57,7 +91,16 @@ func main() {
 		fatal(err)
 	}
 
-	emit := func(title string, tab *report.Table) {
+	doc := jsonDoc{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Scale:       scale.Name,
+		N:           scale.N,
+		Clip:        scale.Clip,
+		Cases:       scale.Cases,
+		Iters:       scale.Iters,
+	}
+
+	emit := func(name, title string, tab *report.Table, methods []jsonMethod) {
 		fmt.Printf("== %s (scale=%s, N=%d, clip=%d, %d cases, %d iters)\n",
 			title, scale.Name, scale.N, scale.Clip, scale.Cases, scale.Iters)
 		var err error
@@ -70,6 +113,14 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println()
+		if *jsonPath != "" {
+			doc.Experiments = append(doc.Experiments, jsonExperiment{
+				Name:    name,
+				Methods: methods,
+				Headers: tab.Headers(),
+				Rows:    tab.Rows(),
+			})
+		}
 	}
 
 	run := func(name string) {
@@ -79,49 +130,53 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			emit("Table 1: method comparison", res.Render())
+			var methods []jsonMethod
+			for i, m := range res.Methods {
+				methods = append(methods, jsonMethod{Name: m, Metrics: res.Average[i], Ratio: res.Ratio[i]})
+			}
+			emit(name, "Table 1: method comparison", res.Render(), methods)
 		case "fig6":
 			res, err := env.RunFig6(progress)
 			if err != nil {
 				fatal(err)
 			}
-			emit("Fig. 6: weighted smoothing ablation", res.Render())
+			emit(name, "Fig. 6: weighted smoothing ablation", res.Render(), nil)
 		case "fig7":
 			res, err := env.RunFig7(progress)
 			if err != nil {
 				fatal(err)
 			}
-			emit("Fig. 7: stitch-and-heal critique", res.Render())
+			emit(name, "Fig. 7: stitch-and-heal critique", res.Render(), nil)
 		case "fig8":
 			res, err := env.RunFig8(progress)
 			if err != nil {
 				fatal(err)
 			}
-			emit("Fig. 8: stitch errors above threshold", res.Render())
+			emit(name, "Fig. 8: stitch errors above threshold", res.Render(), nil)
 		case "speedup":
 			res, err := env.RunSpeedup(*devices, 2, progress)
 			if err != nil {
 				fatal(err)
 			}
-			emit("Section 4: parallel speedup", res.Render())
+			emit(name, "Section 4: parallel speedup", res.Render(), nil)
 		case "penalty":
 			res, err := env.RunPenalty(progress)
 			if err != nil {
 				fatal(err)
 			}
-			emit("Section 2.3: tile-assembly penalty", res.Render())
+			emit(name, "Section 2.3: tile-assembly penalty", res.Render(), nil)
 		case "ablation":
 			res, err := env.RunAblations(progress)
 			if err != nil {
 				fatal(err)
 			}
-			emit("Ablations: multigrid-Schwarz design choices", res.Render())
+			emit(name, "Ablations: multigrid-Schwarz design choices", res.Render(), nil)
 		case "mrc":
 			res, err := env.RunMRC(progress)
 			if err != nil {
 				fatal(err)
 			}
-			emit("MRC: rule violations at stitch lines", res.Render())
+			emit(name, "MRC: rule violations at stitch lines", res.Render(), nil)
 		default:
 			fmt.Fprintf(os.Stderr, "iltbench: unknown experiment %q\n", name)
 			os.Exit(2)
@@ -132,9 +187,20 @@ func main() {
 		for _, name := range []string{"table1", "fig6", "fig7", "fig8", "speedup", "penalty", "ablation", "mrc"} {
 			run(name)
 		}
-		return
+	} else {
+		run(*experiment)
 	}
-	run(*experiment)
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "iltbench: wrote %s\n", *jsonPath)
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,92 @@
+// Command iltserver runs the ILT job service: a long-lived HTTP
+// server that accepts ILT jobs (flow + clip + config knobs), queues
+// them onto a bounded worker pool of simulated accelerator clusters,
+// and exposes progress, results, cancellation and Prometheus metrics.
+//
+// Quickstart (see README.md for the full curl walkthrough):
+//
+//	go run ./cmd/iltserver -addr :8080 -workers 2 -devices 4
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"flow":"mgs","n":64,"iters":20}'
+//	curl -s localhost:8080/v1/jobs/j000001
+//	curl -s localhost:8080/v1/jobs/j000001/result
+//	curl -s localhost:8080/v1/jobs/j000001/mask.pgm -o mask.pgm
+//	curl -s -X DELETE localhost:8080/v1/jobs/j000001
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, new
+// submits are refused, and in-flight jobs drain until -drain expires,
+// after which they are cancelled mid-iteration.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mgsilt/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 2, "concurrent jobs (worker pool size)")
+		devices = flag.Int("devices", 1, "simulated devices per worker cluster")
+		queue   = flag.Int("queue", 64, "job queue capacity")
+		timeout = flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		maxN    = flag.Int("max-n", 256, "largest accepted simulator grid")
+	)
+	flag.Parse()
+
+	srv, err := service.New(service.Options{
+		Workers:          *workers,
+		DevicesPerWorker: *devices,
+		QueueCap:         *queue,
+		DefaultTimeout:   *timeout,
+		MaxN:             *maxN,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "iltserver: listening on %s (%d workers x %d devices)\n", *addr, *workers, *devices)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "iltserver: shutting down, draining jobs...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "iltserver: http shutdown:", err)
+	}
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "iltserver: drain budget exceeded, jobs cancelled:", err)
+	}
+	fmt.Fprintln(os.Stderr, "iltserver: bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "iltserver:", err)
+	os.Exit(1)
+}

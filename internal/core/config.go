@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -38,6 +39,21 @@ type Config struct {
 	Sim     *litho.Simulator
 	Solver  opt.Solver      // φ(·); nil → opt.NewPixel(Sim)
 	Cluster *device.Cluster // nil → single device, unlimited memory
+
+	// Ctx carries the flow's deadline/cancellation. It is threaded
+	// into every cluster batch (device.Cluster.RunCtx) and every
+	// solver iteration (opt.Params.Ctx), so cancelling it stops a
+	// running flow mid-iteration with Ctx.Err() instead of letting it
+	// run to completion. nil means context.Background().
+	Ctx context.Context
+
+	// Progress, when non-nil, is invoked from the flow's goroutine at
+	// the start of each schedulable unit of work: stage names the
+	// phase ("coarse", "fine", "refine", "solve", "heal", "inspect"),
+	// iter is the 1-based unit within the phase and total the phase's
+	// unit count. Long-lived callers (the job service) surface it
+	// through polling; it must be cheap and non-blocking.
+	Progress func(stage string, iter, total int)
 
 	ClipSize   int // layout side (power-of-two multiple of Sim.N())
 	TileSize   int // tile side (the paper uses Sim.N())
@@ -169,6 +185,21 @@ func (c *Config) solver() opt.Solver {
 	return opt.NewPixel(c.Sim)
 }
 
+// ctx returns the flow context, defaulting to context.Background().
+func (c *Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
+
+// progress reports one unit of flow progress if a hook is installed.
+func (c *Config) progress(stage string, iter, total int) {
+	if c.Progress != nil {
+		c.Progress(stage, iter, total)
+	}
+}
+
 func (c *Config) cluster() *device.Cluster {
 	if c.Cluster != nil {
 		return c.Cluster
@@ -201,6 +232,7 @@ type Result struct {
 // evaluate runs the paper's final inspection: binarise the mask and
 // simulate the entire clip with Eq. (3), then measure Definitions 1-3.
 func (c *Config) evaluate(method string, mask, target *grid.Mat, lines []tile.StitchLine, tat time.Duration, cl *device.Cluster) *Result {
+	c.progress("inspect", 1, 1)
 	binary := mask.Binarize(0.5)
 	res := &Result{
 		Method: method,

@@ -32,6 +32,7 @@ func (c *Config) solveTiles(cl *device.Cluster, p *tile.Partition, m, target *gr
 		init := m.Crop(s.Y0, s.X0, p.Tile, p.Tile)
 		tgt := target.Crop(s.Y0, s.X0, p.Tile, p.Tile)
 		tileParams := params
+		tileParams.Ctx = c.ctx()
 		if freeze != nil {
 			tileParams.Freeze = freeze[idx]
 		}
@@ -49,7 +50,7 @@ func (c *Config) solveTiles(cl *device.Cluster, p *tile.Partition, m, target *gr
 			},
 		})
 	}
-	if err := cl.Run(jobs); err != nil {
+	if err := cl.RunCtx(c.ctx(), jobs); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -65,6 +66,7 @@ func (c *Config) solveCoarseTiles(cl *device.Cluster, p *tile.Partition, m, targ
 	var mu sync.Mutex
 	jobs := make([]device.Job, 0, len(p.Tiles))
 	solvedSize := p.Tile / s
+	params.Ctx = c.ctx()
 	for _, spec := range p.Tiles {
 		spec := spec
 		init := m.Crop(spec.Y0, spec.X0, p.Tile, p.Tile).Downsample(s)
@@ -83,7 +85,7 @@ func (c *Config) solveCoarseTiles(cl *device.Cluster, p *tile.Partition, m, targ
 			},
 		})
 	}
-	if err := cl.Run(jobs); err != nil {
+	if err := cl.RunCtx(c.ctx(), jobs); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -114,7 +116,10 @@ func MultigridSchwarz(cfg Config, target *grid.Mat) (*Result, error) {
 	for s := cfg.CoarseScale; s >= 2; s /= 2 {
 		levels++
 	}
+	level := 0
 	for s := cfg.CoarseScale; s >= 2; s /= 2 {
+		level++
+		c.progress("coarse", level, levels)
 		coarseTile := s * cfg.TileSize
 		p, err := tile.Part(cfg.ClipSize, cfg.ClipSize, coarseTile, s*cfg.Margin)
 		if err != nil {
@@ -161,6 +166,7 @@ func MultigridSchwarz(cfg Config, target *grid.Mat) (*Result, error) {
 	perStage := cfg.FineIters / cfg.FineStages
 	extra := cfg.FineIters - perStage*cfg.FineStages
 	for stage := 0; stage < cfg.FineStages; stage++ {
+		c.progress("fine", stage+1, cfg.FineStages)
 		iters := perStage
 		if stage == 0 {
 			iters += extra
@@ -178,6 +184,7 @@ func MultigridSchwarz(cfg Config, target *grid.Mat) (*Result, error) {
 	// so each colour sees the previous colours' updates.
 	colors := p.Colors()
 	for it := 0; it < cfg.RefineIters; it++ {
+		c.progress("refine", it+1, cfg.RefineIters)
 		for _, group := range colors {
 			params := opt.Params{Iters: cfg.RefineVisitIters, LR: cfg.RefineLR, Stretch: 1, PVWeight: cfg.PVWeight, Plain: cfg.RefinePlain}
 			sols, err := c.solveTiles(cl, p, m, target, params, group, freeze)
@@ -212,6 +219,7 @@ func DivideAndConquer(cfg Config, target *grid.Mat) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.progress("solve", 1, 1)
 	params := opt.Params{Iters: cfg.BaselineIters, LR: cfg.LR, Stretch: 1, PVWeight: cfg.PVWeight}
 	tiles, err := c.solveTiles(cl, p, target, target, params, nil, nil)
 	if err != nil {
@@ -242,7 +250,8 @@ func FullChip(cfg Config, target *grid.Mat) (*Result, error) {
 	c := &cfg
 	cl := c.cluster()
 	simStart := cl.Stats().SimElapsed
-	params := opt.Params{Iters: cfg.BaselineIters, LR: cfg.LR, Stretch: 1, PVWeight: cfg.PVWeight}
+	c.progress("solve", 1, 1)
+	params := opt.Params{Iters: cfg.BaselineIters, LR: cfg.LR, Stretch: 1, PVWeight: cfg.PVWeight, Ctx: c.ctx()}
 	// One ideal job: the paper charges full-chip ILT no communication
 	// overhead and assumes a device large enough to hold the clip, so
 	// the job bypasses the per-device memory gate by construction
@@ -253,7 +262,7 @@ func FullChip(cfg Config, target *grid.Mat) (*Result, error) {
 		m, err = c.solver().Solve(target, target, params)
 		return err
 	}}
-	if err := cl.Run([]device.Job{job}); err != nil {
+	if err := cl.RunCtx(c.ctx(), []device.Job{job}); err != nil {
 		return nil, err
 	}
 	tat := cl.Stats().SimElapsed - simStart

@@ -34,7 +34,8 @@ func StitchAndHeal(cfg Config, target *grid.Mat) (*Result, error) {
 	}
 	lines := p.StitchLines()
 	var aux []tile.StitchLine
-	for _, line := range lines {
+	for i, line := range lines {
+		c.progress("heal", i+1, len(lines))
 		healed, newEdges, err := c.healLine(cl, m, target, line)
 		if err != nil {
 			return nil, err
@@ -69,7 +70,7 @@ func (c *Config) healLine(cl *device.Cluster, m, target *grid.Mat, line tile.Sti
 	out := m.Clone()
 	var mu sync.Mutex
 	var jobs []device.Job
-	params := opt.Params{Iters: c.FineIters, LR: c.LR, Stretch: 1, PVWeight: c.PVWeight}
+	params := opt.Params{Iters: c.FineIters, LR: c.LR, Stretch: 1, PVWeight: c.PVWeight, Ctx: c.ctx()}
 	solver := c.solver()
 	for along := 0; along+t <= size; along += t {
 		var y0, x0 int
@@ -104,7 +105,7 @@ func (c *Config) healLine(cl *device.Cluster, m, target *grid.Mat, line tile.Sti
 			},
 		})
 	}
-	if err := cl.Run(jobs); err != nil {
+	if err := cl.RunCtx(c.ctx(), jobs); err != nil {
 		return nil, nil, err
 	}
 

@@ -33,6 +33,7 @@ func OverlapSelect(cfg Config, target *grid.Mat) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.progress("solve", 1, 1)
 	params := opt.Params{Iters: cfg.BaselineIters, LR: cfg.LR, Stretch: 1, PVWeight: cfg.PVWeight}
 	tiles, err := c.solveTiles(cl, p, target, target, params, nil, nil)
 	if err != nil {

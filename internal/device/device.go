@@ -15,6 +15,7 @@
 package device
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -74,19 +75,35 @@ func (c *Cluster) Fits(pixels int) bool {
 }
 
 // Run executes one barrier-synchronised batch of jobs, then advances
-// the virtual clock by the batch's simulated makespan: measured job
-// durations are list-scheduled (in submission order, earliest-free
-// device first) onto the pool's timelines, exactly the greedy schedule
-// a work-stealing GPU pool produces for homogeneous tile solves.
+// the virtual clock by the batch's simulated makespan. It is
+// RunCtx with a background context; see RunCtx for the semantics.
+func (c *Cluster) Run(jobs []Job) error {
+	return c.RunCtx(context.Background(), jobs)
+}
+
+// RunCtx executes one barrier-synchronised batch of jobs, then
+// advances the virtual clock by the batch's simulated makespan:
+// measured job durations are list-scheduled (in submission order,
+// earliest-free device first) onto the pool's timelines, exactly the
+// greedy schedule a work-stealing GPU pool produces for homogeneous
+// tile solves.
 //
 // Real execution uses min(devices, GOMAXPROCS) workers so measured
 // durations are not inflated by oversubscribing the host; the reported
 // timing comes from the virtual schedule either way. Jobs whose
 // working set exceeds device memory fail without running; the combined
 // error of all failures is returned.
-func (c *Cluster) Run(jobs []Job) error {
+//
+// Once ctx is cancelled no further queued jobs are dispatched: jobs
+// already running finish their Work (long-running Work should observe
+// ctx itself), jobs still waiting are skipped, and ctx.Err() is joined
+// into the returned error alongside any per-job failures. Completed
+// jobs are accounted to the virtual timelines either way, so partial
+// progress remains observable through Stats.
+func (c *Cluster) RunCtx(ctx context.Context, jobs []Job) error {
 	durations := make([]time.Duration, len(jobs))
 	errs := make([]error, len(jobs))
+	ran := make([]bool, len(jobs))
 
 	workers := c.n
 	if g := runtime.GOMAXPROCS(0); g < workers {
@@ -99,6 +116,9 @@ func (c *Cluster) Run(jobs []Job) error {
 		go func(slot int) {
 			defer wg.Done()
 			for i := range queue {
+				if ctx.Err() != nil {
+					continue // cancelled while queued: skip, never ran
+				}
 				job := jobs[i]
 				if !c.Fits(job.Pixels) {
 					errs[i] = fmt.Errorf("device: job of %d pixels exceeds device memory %d", job.Pixels, c.memPixels)
@@ -107,11 +127,17 @@ func (c *Cluster) Run(jobs []Job) error {
 				start := time.Now()
 				errs[i] = job.Work(slot)
 				durations[i] = time.Since(start)
+				ran[i] = true
 			}
 		}(slot)
 	}
+dispatch:
 	for i := range jobs {
-		queue <- i
+		select {
+		case queue <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(queue)
 	wg.Wait()
@@ -120,8 +146,8 @@ func (c *Cluster) Run(jobs []Job) error {
 	c.mu.Lock()
 	end := make([]time.Duration, c.n)
 	for i, d := range durations {
-		if errs[i] != nil && d == 0 {
-			continue // never ran
+		if !ran[i] {
+			continue // never ran (memory gate or cancellation)
 		}
 		cost := d + c.transferCost(jobs[i].Pixels)
 		dev := 0
@@ -144,6 +170,9 @@ func (c *Cluster) Run(jobs []Job) error {
 	c.elapsed += makespan
 	c.mu.Unlock()
 
+	if err := ctx.Err(); err != nil {
+		return errors.Join(append([]error{err}, errs...)...)
+	}
 	return errors.Join(errs...)
 }
 

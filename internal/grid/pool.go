@@ -25,12 +25,16 @@ func GetMat(h, w int) *Mat {
 }
 
 // PutMat returns a matrix to the pool. The caller must not use it
-// afterwards.
+// afterwards. Matrices whose backing slice does not match their shape
+// (cropped or aliased views) are silently dropped: admitting one would
+// poison the H*W bucket and hand a short slice to a later GetMat.
 func PutMat(m *Mat) {
-	if m == nil {
+	if m == nil || len(m.Data) != m.H*m.W {
 		return
 	}
-	p, _ := matPools.LoadOrStore(len(m.Data), &sync.Pool{})
+	// Keyed by H*W, which after the check above equals len(m.Data) —
+	// the same key GetMat uses.
+	p, _ := matPools.LoadOrStore(m.H*m.W, &sync.Pool{})
 	p.(*sync.Pool).Put(m)
 }
 
@@ -48,11 +52,12 @@ func GetCMat(h, w int) *CMat {
 }
 
 // PutCMat returns a complex matrix to the pool. The caller must not
-// use it afterwards.
+// use it afterwards. Mis-shaped matrices (len(Data) != H*W) are
+// silently dropped, mirroring PutMat.
 func PutCMat(m *CMat) {
-	if m == nil {
+	if m == nil || len(m.Data) != m.H*m.W {
 		return
 	}
-	p, _ := cmatPools.LoadOrStore(len(m.Data), &sync.Pool{})
+	p, _ := cmatPools.LoadOrStore(m.H*m.W, &sync.Pool{})
 	p.(*sync.Pool).Put(m)
 }

@@ -49,6 +49,9 @@ func (s *LevelSet) Solve(target, init *grid.Mat, p Params) (*grid.Mat, error) {
 	mask := grid.NewMat(init.H, init.W)
 	vel := make([]float64, len(phi.Data))
 	for it := 0; it < p.Iters; it++ {
+		if err := p.Interrupted(); err != nil {
+			return nil, err
+		}
 		s.heaviside(phi, mask)
 		_, gm := sharedLossGrad(s.Sim, mask, target, p)
 		gradMag := filter.GradientMagnitude(phi)

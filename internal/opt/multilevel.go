@@ -74,6 +74,9 @@ func (s *MultiLevel) Solve(target, init *grid.Mat, p Params) (*grid.Mat, error) 
 	}
 
 	for lvl := 0; lvl < levels-1; lvl++ {
+		if err := p.Interrupted(); err != nil {
+			return nil, err
+		}
 		factor := 1 << (levels - 1 - lvl) // 2^(levels-1), ..., 2
 		iters := coarseBudget / (levels - 1)
 		if iters == 0 {

@@ -13,6 +13,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -22,6 +23,11 @@ import (
 
 // Params are the per-call knobs of a Solve invocation.
 type Params struct {
+	// Ctx, when non-nil, is polled between iterations: the solver
+	// returns Ctx.Err() as soon as the context is cancelled or past
+	// its deadline, so a cancelled job stops mid-iteration-budget
+	// instead of running to completion. nil means never interrupted.
+	Ctx context.Context
 	// Iters is the number of optimisation iterations.
 	Iters int
 	// LR is the learning rate (solver-specific scale).
@@ -44,6 +50,16 @@ type Params struct {
 	// hold the adjacent tiles' data so the subdomain solve cannot
 	// contradict its neighbours. Must match the mask shape.
 	Freeze *grid.Mat
+}
+
+// Interrupted returns the context's error when Params carries a
+// cancelled or expired context, and nil otherwise. Solvers poll it
+// once per iteration.
+func (p Params) Interrupted() error {
+	if p.Ctx == nil {
+		return nil
+	}
+	return p.Ctx.Err()
 }
 
 // maskFrozen zeroes gradient entries at frozen pixels.

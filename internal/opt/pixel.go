@@ -81,6 +81,9 @@ func (s *Pixel) Solve(target, init *grid.Mat, p Params) (*grid.Mat, error) {
 		return s.Slope + (s.FinalSlope-s.Slope)*float64(it)/float64(p.Iters-1)
 	}
 	for it := 0; it < p.Iters; it++ {
+		if err := p.Interrupted(); err != nil {
+			return nil, err
+		}
 		slope := slopeAt(it)
 		for i, t := range theta {
 			mask.Data[i] = sigmoidAt(slope * t)

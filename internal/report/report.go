@@ -34,6 +34,13 @@ func (t *Table) AddRow(cells ...string) {
 // NumRows returns the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }
 
+// Rows returns a copy of the data rows (cells are shared).
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	copy(out, t.rows)
+	return out
+}
+
 // Fprint writes the table with space-aligned columns.
 func (t *Table) Fprint(w io.Writer) error {
 	widths := make([]int, len(t.headers))

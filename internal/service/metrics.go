@@ -1,0 +1,140 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// stageBuckets are the upper bounds (seconds) of the per-stage latency
+// histogram: exponential ×4 steps spanning sub-iteration blips to
+// multi-minute full-chip stages.
+var stageBuckets = []float64{0.005, 0.02, 0.08, 0.32, 1.28, 5.12, 20.48, 81.92, 327.68}
+
+// histogram is a fixed-bucket Prometheus-style cumulative histogram.
+type histogram struct {
+	counts []uint64 // per-bucket (non-cumulative) counts
+	sum    float64
+	count  uint64
+}
+
+func (h *histogram) observe(sec float64) {
+	h.sum += sec
+	h.count++
+	for i, ub := range stageBuckets {
+		if sec <= ub {
+			h.counts[i]++
+			return
+		}
+	}
+	// Beyond the last bound: counted only in +Inf (h.count).
+}
+
+// registry accumulates the service's counters and histograms.
+type registry struct {
+	mu        sync.Mutex
+	nSubmit   uint64
+	nFinished map[State]uint64
+	stages    map[string]*histogram
+}
+
+func newRegistry() *registry {
+	return &registry{
+		nFinished: make(map[State]uint64),
+		stages:    make(map[string]*histogram),
+	}
+}
+
+func (r *registry) submitted() {
+	r.mu.Lock()
+	r.nSubmit++
+	r.mu.Unlock()
+}
+
+func (r *registry) finished(st State) {
+	r.mu.Lock()
+	r.nFinished[st]++
+	r.mu.Unlock()
+}
+
+func (r *registry) observeStage(stage string, d time.Duration) {
+	r.mu.Lock()
+	h, ok := r.stages[stage]
+	if !ok {
+		h = &histogram{counts: make([]uint64, len(stageBuckets))}
+		r.stages[stage] = h
+	}
+	h.observe(d.Seconds())
+	r.mu.Unlock()
+}
+
+// write renders the registry plus the server-level gauges in the
+// Prometheus text exposition format (untyped text, no client library —
+// the repo is stdlib-only by policy).
+func (r *registry) write(w io.Writer, snap snapshot) {
+	fmt.Fprintf(w, "# HELP ilt_jobs_submitted_total Jobs accepted by POST /v1/jobs.\n")
+	fmt.Fprintf(w, "# TYPE ilt_jobs_submitted_total counter\n")
+	r.mu.Lock()
+	fmt.Fprintf(w, "ilt_jobs_submitted_total %d\n", r.nSubmit)
+
+	fmt.Fprintf(w, "# HELP ilt_jobs_finished_total Jobs reaching a terminal state.\n")
+	fmt.Fprintf(w, "# TYPE ilt_jobs_finished_total counter\n")
+	for _, st := range []State{StateDone, StateFailed, StateCancelled} {
+		fmt.Fprintf(w, "ilt_jobs_finished_total{state=%q} %d\n", st, r.nFinished[st])
+	}
+
+	fmt.Fprintf(w, "# HELP ilt_stage_duration_seconds Wall time per flow stage.\n")
+	fmt.Fprintf(w, "# TYPE ilt_stage_duration_seconds histogram\n")
+	names := make([]string, 0, len(r.stages))
+	for name := range r.stages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := r.stages[name]
+		cum := uint64(0)
+		for i, ub := range stageBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "ilt_stage_duration_seconds_bucket{stage=%q,le=%q} %d\n", name, trimFloat(ub), cum)
+		}
+		fmt.Fprintf(w, "ilt_stage_duration_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", name, h.count)
+		fmt.Fprintf(w, "ilt_stage_duration_seconds_sum{stage=%q} %g\n", name, h.sum)
+		fmt.Fprintf(w, "ilt_stage_duration_seconds_count{stage=%q} %d\n", name, h.count)
+	}
+	r.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP ilt_jobs_current Jobs currently in a non-terminal state.\n")
+	fmt.Fprintf(w, "# TYPE ilt_jobs_current gauge\n")
+	fmt.Fprintf(w, "ilt_jobs_current{state=\"queued\"} %d\n", snap.queued)
+	fmt.Fprintf(w, "ilt_jobs_current{state=\"running\"} %d\n", snap.running)
+	fmt.Fprintf(w, "# HELP ilt_queue_depth Jobs waiting in the FIFO queue.\n")
+	fmt.Fprintf(w, "# TYPE ilt_queue_depth gauge\n")
+	fmt.Fprintf(w, "ilt_queue_depth %d\n", snap.queueDepth)
+	fmt.Fprintf(w, "# HELP ilt_workers Worker pool size.\n")
+	fmt.Fprintf(w, "# TYPE ilt_workers gauge\n")
+	fmt.Fprintf(w, "ilt_workers %d\n", snap.workers)
+	fmt.Fprintf(w, "# HELP ilt_uptime_seconds Time since the server started.\n")
+	fmt.Fprintf(w, "# TYPE ilt_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "ilt_uptime_seconds %g\n", snap.uptime.Seconds())
+
+	fmt.Fprintf(w, "# HELP ilt_device_jobs_total Tile jobs executed on the simulated clusters.\n")
+	fmt.Fprintf(w, "# TYPE ilt_device_jobs_total counter\n")
+	fmt.Fprintf(w, "ilt_device_jobs_total %d\n", snap.device.Jobs)
+	fmt.Fprintf(w, "# HELP ilt_device_busy_seconds_total Cumulative simulated device busy time.\n")
+	fmt.Fprintf(w, "# TYPE ilt_device_busy_seconds_total counter\n")
+	fmt.Fprintf(w, "ilt_device_busy_seconds_total %g\n", snap.device.TotalBusy.Seconds())
+	fmt.Fprintf(w, "# HELP ilt_device_transfer_seconds_total Cumulative simulated host-staging time.\n")
+	fmt.Fprintf(w, "# TYPE ilt_device_transfer_seconds_total counter\n")
+	fmt.Fprintf(w, "ilt_device_transfer_seconds_total %g\n", snap.device.Transfer.Seconds())
+	fmt.Fprintf(w, "# HELP ilt_device_sim_elapsed_seconds_total Cumulative virtual-clock makespan.\n")
+	fmt.Fprintf(w, "# TYPE ilt_device_sim_elapsed_seconds_total counter\n")
+	fmt.Fprintf(w, "ilt_device_sim_elapsed_seconds_total %g\n", snap.device.SimElapsed.Seconds())
+}
+
+// trimFloat renders a bucket bound the way Prometheus expects
+// (shortest representation, no trailing zeros).
+func trimFloat(f float64) string {
+	return fmt.Sprintf("%g", f)
+}

@@ -1,0 +1,645 @@
+// Package service implements a long-lived concurrent ILT job service:
+// the orchestration substrate that turns the repository's batch flows
+// (internal/core) into schedulable units of work, the shape in which
+// full-chip ILT is actually operated — a fleet of tile jobs submitted,
+// queued, executed on bounded accelerator pools, observed, and
+// collected.
+//
+// The server owns an in-memory job store and a FIFO queue drained by a
+// bounded worker pool; each worker owns one device.Cluster (the
+// simulated accelerator pool of internal/device), so concurrency is
+// the worker count and per-job parallelism is the cluster's device
+// count. Every job runs under its own context.Context carrying the
+// client's deadline/cancellation, threaded through core → opt → device
+// so a cancelled HTTP job stops mid-iteration instead of running to
+// completion. Flow progress is captured through core.Config.Progress
+// and surfaced via polling, and the whole system is observable through
+// /healthz and Prometheus-text /metrics.
+//
+// HTTP surface (see Handler):
+//
+//	POST   /v1/jobs             submit (JobSpec JSON) → 202 + job id
+//	GET    /v1/jobs             list all jobs
+//	GET    /v1/jobs/{id}        status + progress
+//	GET    /v1/jobs/{id}/result metrics JSON (internal/report shapes)
+//	GET    /v1/jobs/{id}/mask.pgm  binarised mask (internal/imgio PGM)
+//	DELETE /v1/jobs/{id}        cancel (queued or running)
+//	GET    /healthz             liveness + queue/worker gauges
+//	GET    /metrics             Prometheus text format
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"mgsilt/internal/core"
+	"mgsilt/internal/device"
+	"mgsilt/internal/grid"
+	"mgsilt/internal/kernels"
+	"mgsilt/internal/layout"
+	"mgsilt/internal/litho"
+	"mgsilt/internal/opt"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+// Job lifecycle: queued → running → {done, failed, cancelled}; a
+// queued job may be cancelled without ever running.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobSpec is the submit payload: which flow to run, on which clip, at
+// which scale, plus optional core.Config knob overrides.
+type JobSpec struct {
+	// Flow selects the core flow: "mgs" (multigrid-Schwarz), "dc"
+	// (divide-and-conquer), "fullchip", "heal" (stitch-and-heal) or
+	// "select" (overlap-select).
+	Flow string `json:"flow"`
+	// Solver selects φ(·): "pixel" (default), "levelset", "multilevel".
+	Solver string `json:"solver,omitempty"`
+	// N is the native simulator grid (power of two; default 64).
+	N int `json:"n,omitempty"`
+	// ClipSize is the layout side (default 2·N; must be a power-of-two
+	// multiple of N).
+	ClipSize int `json:"clip_size,omitempty"`
+	// Seed selects the deterministic synthetic clip (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// LayoutRects, when non-empty, is an uploaded layout in the .rects
+	// text format (see internal/layout); it overrides Seed.
+	LayoutRects string `json:"layout_rects,omitempty"`
+	// Iters is the baseline iteration budget scaled into the flow's
+	// schedule exactly as core.DefaultConfig does (default 20).
+	Iters int `json:"iters,omitempty"`
+	// TimeoutMS bounds the job's wall time; 0 uses the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// Optional core.Config overrides (nil = DefaultConfig value).
+	CoarseScale *int     `json:"coarse_scale,omitempty"`
+	CoarseIters *int     `json:"coarse_iters,omitempty"`
+	FineIters   *int     `json:"fine_iters,omitempty"`
+	FineStages  *int     `json:"fine_stages,omitempty"`
+	RefineIters *int     `json:"refine_iters,omitempty"`
+	LR          *float64 `json:"lr,omitempty"`
+	PVWeight    *float64 `json:"pv_weight,omitempty"`
+}
+
+// Progress is the latest core.Config.Progress event of a job, plus a
+// monotone event counter so pollers can detect advancement even when
+// a stage repeats.
+type Progress struct {
+	Stage string `json:"stage"`
+	Iter  int    `json:"iter"`
+	Total int    `json:"total"`
+	Units int    `json:"units"`
+}
+
+// Status is the externally visible job record.
+type Status struct {
+	ID         string     `json:"id"`
+	Flow       string     `json:"flow"`
+	State      State      `json:"state"`
+	Progress   Progress   `json:"progress"`
+	Error      string     `json:"error,omitempty"`
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+}
+
+// job is the internal record; mutable fields are guarded by Server.mu.
+type job struct {
+	id       string
+	spec     JobSpec
+	state    State
+	progress Progress
+	err      string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc
+	result   *core.Result
+}
+
+func (j *job) status() Status {
+	st := Status{
+		ID:        j.id,
+		Flow:      j.spec.Flow,
+		State:     j.state,
+		Progress:  j.progress,
+		Error:     j.err,
+		CreatedAt: j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the worker-pool size: the number of jobs optimised
+	// concurrently. Default 2.
+	Workers int
+	// DevicesPerWorker is the simulated accelerator count of each
+	// worker's device.Cluster. Default 1.
+	DevicesPerWorker int
+	// QueueCap bounds the FIFO queue; submits beyond it are rejected
+	// with 503. Default 64.
+	QueueCap int
+	// DefaultTimeout bounds jobs that do not set TimeoutMS; 0 means
+	// no deadline.
+	DefaultTimeout time.Duration
+	// MaxN bounds the per-job simulator grid (default 256) and MaxIters
+	// the per-job iteration budget (default 10000) so one submit cannot
+	// monopolise the pool.
+	MaxN     int
+	MaxIters int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.DevicesPerWorker <= 0 {
+		o.DevicesPerWorker = 1
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 64
+	}
+	if o.MaxN <= 0 {
+		o.MaxN = 256
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 10000
+	}
+	return o
+}
+
+// Server is the ILT job service.
+type Server struct {
+	opts  Options
+	start time.Time
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	queue  chan *job
+	closed bool
+	nextID int
+
+	wg       sync.WaitGroup
+	clusters []*device.Cluster
+
+	simMu sync.Mutex
+	sims  map[int]*litho.Simulator
+
+	metrics *registry
+}
+
+// New builds the server and starts its worker pool.
+func New(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		start:   time.Now(),
+		jobs:    make(map[string]*job),
+		queue:   make(chan *job, opts.QueueCap),
+		sims:    make(map[int]*litho.Simulator),
+		metrics: newRegistry(),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		cl, err := device.NewCluster(opts.DevicesPerWorker, 0)
+		if err != nil {
+			return nil, err
+		}
+		s.clusters = append(s.clusters, cl)
+		s.wg.Add(1)
+		go s.worker(cl)
+	}
+	return s, nil
+}
+
+// normalize fills spec defaults and validates the cheap invariants
+// (full validation happens in core.Config.Validate at run time).
+func (s *Server) normalize(spec *JobSpec) error {
+	switch spec.Flow {
+	case "mgs", "dc", "fullchip", "heal", "select":
+	case "":
+		return fmt.Errorf("service: flow is required (mgs | dc | fullchip | heal | select)")
+	default:
+		return fmt.Errorf("service: unknown flow %q", spec.Flow)
+	}
+	switch spec.Solver {
+	case "", "pixel", "levelset", "multilevel":
+	default:
+		return fmt.Errorf("service: unknown solver %q", spec.Solver)
+	}
+	if spec.N == 0 {
+		spec.N = 64
+	}
+	if spec.N < 32 || spec.N > s.opts.MaxN || spec.N&(spec.N-1) != 0 {
+		return fmt.Errorf("service: n %d must be a power of two in [32, %d]", spec.N, s.opts.MaxN)
+	}
+	if spec.ClipSize == 0 {
+		spec.ClipSize = 2 * spec.N
+	}
+	if spec.ClipSize < spec.N || spec.ClipSize > 4*s.opts.MaxN {
+		return fmt.Errorf("service: clip_size %d out of range", spec.ClipSize)
+	}
+	if spec.Iters == 0 {
+		spec.Iters = 20
+	}
+	if spec.Iters < 1 || spec.Iters > s.opts.MaxIters {
+		return fmt.Errorf("service: iters %d out of [1, %d]", spec.Iters, s.opts.MaxIters)
+	}
+	if spec.Seed == 0 {
+		spec.Seed = 1
+	}
+	if spec.TimeoutMS < 0 {
+		return fmt.Errorf("service: negative timeout_ms")
+	}
+	return nil
+}
+
+// Submit validates the spec and enqueues a new job, returning its
+// status snapshot. It fails when the server is draining or the queue
+// is full.
+func (s *Server) Submit(spec JobSpec) (Status, error) {
+	if err := s.normalize(&spec); err != nil {
+		return Status{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Status{}, ErrDraining
+	}
+	s.nextID++
+	j := &job{
+		id:      fmt.Sprintf("j%06d", s.nextID),
+		spec:    spec,
+		state:   StateQueued,
+		created: time.Now(),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		return Status{}, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.metrics.submitted()
+	return j.status(), nil
+}
+
+// Service errors mapped to HTTP status codes by the handlers.
+var (
+	ErrDraining  = errors.New("service: shutting down, not accepting jobs")
+	ErrQueueFull = errors.New("service: job queue full")
+	ErrNotFound  = errors.New("service: no such job")
+	ErrNotDone   = errors.New("service: job has no result yet")
+	ErrTerminal  = errors.New("service: job already finished")
+)
+
+// Status returns a job's status snapshot.
+func (s *Server) Status(id string) (Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	return j.status(), nil
+}
+
+// List returns all jobs in submission order.
+func (s *Server) List() []Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Status, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].status())
+	}
+	return out
+}
+
+// Result returns a finished job's flow result.
+func (s *Server) Result(id string) (*core.Result, Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, Status{}, ErrNotFound
+	}
+	if j.state != StateDone || j.result == nil {
+		return nil, j.status(), ErrNotDone
+	}
+	return j.result, j.status(), nil
+}
+
+// Cancel cancels a job: a queued job is finalised immediately without
+// ever running; a running job has its context cancelled and reaches
+// the cancelled state as soon as the flow observes it (within one
+// solver iteration). Cancelling a terminal job returns ErrTerminal.
+func (s *Server) Cancel(id string) (Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	switch {
+	case j.state == StateQueued:
+		j.state = StateCancelled
+		j.err = context.Canceled.Error()
+		j.finished = time.Now()
+		s.metrics.finished(StateCancelled)
+	case j.state == StateRunning && j.cancel != nil:
+		j.cancel() // finalised by the worker when the flow unwinds
+	case j.state.Terminal():
+		return j.status(), ErrTerminal
+	}
+	return j.status(), nil
+}
+
+// Shutdown stops accepting jobs, then drains: queued and in-flight
+// jobs run to completion. If ctx expires first, every remaining job is
+// cancelled (queued ones immediately, running ones via their contexts)
+// and Shutdown returns ctx.Err() once the workers have unwound.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelAll()
+		<-done // flows observe cancellation within one iteration
+		return ctx.Err()
+	}
+}
+
+func (s *Server) cancelAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		switch {
+		case j.state == StateQueued:
+			j.state = StateCancelled
+			j.err = context.Canceled.Error()
+			j.finished = time.Now()
+			s.metrics.finished(StateCancelled)
+		case j.state == StateRunning && j.cancel != nil:
+			j.cancel()
+		}
+	}
+}
+
+// worker drains the FIFO queue on one accelerator cluster.
+func (s *Server) worker(cl *device.Cluster) {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j, cl)
+	}
+}
+
+// runJob executes one job: it builds the per-job context (deadline +
+// cancellation), threads it with the progress hook through the flow,
+// and finalises the job's state from the flow's outcome.
+func (s *Server) runJob(j *job, cl *device.Cluster) {
+	s.mu.Lock()
+	if j.state != StateQueued { // cancelled while waiting
+		s.mu.Unlock()
+		return
+	}
+	timeout := s.opts.DefaultTimeout
+	if j.spec.TimeoutMS > 0 {
+		timeout = time.Duration(j.spec.TimeoutMS) * time.Millisecond
+	}
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	spec := j.spec
+	s.mu.Unlock()
+	defer cancel()
+
+	// Stage latency accounting: each progress event closes the
+	// preceding stage's interval.
+	var lastStage string
+	var lastAt time.Time
+	progress := func(stage string, iter, total int) {
+		now := time.Now()
+		if lastStage != "" {
+			s.metrics.observeStage(lastStage, now.Sub(lastAt))
+		}
+		lastStage, lastAt = stage, now
+		s.mu.Lock()
+		j.progress.Stage = stage
+		j.progress.Iter = iter
+		j.progress.Total = total
+		j.progress.Units++
+		s.mu.Unlock()
+	}
+
+	res, err := s.execute(ctx, spec, cl, progress)
+	now := time.Now()
+	if lastStage != "" {
+		s.metrics.observeStage(lastStage, now.Sub(lastAt))
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.finished = now
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = res
+	case errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+		j.err = context.Canceled.Error()
+	default: // deadline expiry and genuine flow failures
+		j.state = StateFailed
+		j.err = err.Error()
+	}
+	s.metrics.finished(j.state)
+}
+
+// execute builds the environment (simulator, clip, config) and runs
+// the selected flow under ctx.
+func (s *Server) execute(ctx context.Context, spec JobSpec, cl *device.Cluster, progress func(string, int, int)) (*core.Result, error) {
+	sim, err := s.simulator(spec.N)
+	if err != nil {
+		return nil, err
+	}
+	target, err := s.target(spec)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig(sim, spec.ClipSize, spec.Iters)
+	cfg.Cluster = cl
+	cfg.Ctx = ctx
+	cfg.Progress = progress
+	switch spec.Solver {
+	case "levelset":
+		cfg.Solver = opt.NewLevelSet(sim)
+	case "multilevel":
+		cfg.Solver = opt.NewMultiLevel(sim)
+	}
+	if spec.CoarseScale != nil {
+		cfg.CoarseScale = *spec.CoarseScale
+	}
+	if spec.CoarseIters != nil {
+		cfg.CoarseIters = *spec.CoarseIters
+	}
+	if spec.FineIters != nil {
+		cfg.FineIters = *spec.FineIters
+	}
+	if spec.FineStages != nil {
+		cfg.FineStages = *spec.FineStages
+	}
+	if spec.RefineIters != nil {
+		cfg.RefineIters = *spec.RefineIters
+	}
+	if spec.LR != nil {
+		cfg.LR = *spec.LR
+	}
+	if spec.PVWeight != nil {
+		cfg.PVWeight = *spec.PVWeight
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	switch spec.Flow {
+	case "mgs":
+		return core.MultigridSchwarz(cfg, target)
+	case "dc":
+		return core.DivideAndConquer(cfg, target)
+	case "fullchip":
+		return core.FullChip(cfg, target)
+	case "heal":
+		return core.StitchAndHeal(cfg, target)
+	case "select":
+		return core.OverlapSelect(cfg, target)
+	}
+	return nil, fmt.Errorf("service: unknown flow %q", spec.Flow)
+}
+
+// simulator returns the cached optics for grid size n, building it on
+// first use. Kernel generation is deterministic, so the cache is
+// shared safely between workers; litho.Simulator itself is safe for
+// concurrent use (tile solves already share one per flow).
+func (s *Server) simulator(n int) (*litho.Simulator, error) {
+	s.simMu.Lock()
+	defer s.simMu.Unlock()
+	if sim, ok := s.sims[n]; ok {
+		return sim, nil
+	}
+	kc := kernels.DefaultConfig(n)
+	nom, err := kernels.Generate(kc)
+	if err != nil {
+		return nil, err
+	}
+	def, err := kernels.Defocused(kc, 0.8)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := litho.New(nom, def, litho.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	s.sims[n] = sim
+	return sim, nil
+}
+
+// target materialises the job's clip: an uploaded .rects layout when
+// provided, otherwise the deterministic synthetic generator.
+func (s *Server) target(spec JobSpec) (*grid.Mat, error) {
+	if spec.LayoutRects != "" {
+		clip, err := layout.ReadRects(strings.NewReader(spec.LayoutRects))
+		if err != nil {
+			return nil, err
+		}
+		if clip.Target.H != spec.ClipSize || clip.Target.W != spec.ClipSize {
+			return nil, fmt.Errorf("service: uploaded layout is %dx%d, job clip_size is %d", clip.Target.H, clip.Target.W, spec.ClipSize)
+		}
+		return clip.Target, nil
+	}
+	clip, err := layout.Generate(layout.DefaultConfig(spec.ClipSize, spec.Seed))
+	if err != nil {
+		return nil, err
+	}
+	return clip.Target, nil
+}
+
+// snapshot aggregates the gauges reported by /healthz and /metrics.
+type snapshot struct {
+	queued, running int
+	queueDepth      int
+	closed          bool
+	workers         int
+	uptime          time.Duration
+	device          device.Stats
+}
+
+func (s *Server) snapshot() snapshot {
+	s.mu.Lock()
+	snap := snapshot{
+		queueDepth: len(s.queue),
+		closed:     s.closed,
+		workers:    s.opts.Workers,
+		uptime:     time.Since(s.start),
+	}
+	for _, j := range s.jobs {
+		switch j.state {
+		case StateQueued:
+			snap.queued++
+		case StateRunning:
+			snap.running++
+		}
+	}
+	s.mu.Unlock()
+	for _, cl := range s.clusters {
+		st := cl.Stats()
+		snap.device.Jobs += st.Jobs
+		snap.device.TotalBusy += st.TotalBusy
+		snap.device.Transfer += st.Transfer
+		snap.device.SimElapsed += st.SimElapsed
+	}
+	return snap
+}

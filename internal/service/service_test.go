@@ -1,0 +1,443 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mgsilt/internal/layout"
+)
+
+// testOpts keeps jobs tiny (N=32 optics, 64² clips) so the whole
+// lifecycle suite runs in seconds even under -race.
+func testOpts() Options {
+	return Options{Workers: 2, DevicesPerWorker: 2, QueueCap: 8}
+}
+
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+// smallSpec is a fast real job: multigrid-Schwarz on a 64² clip.
+func smallSpec() JobSpec {
+	return JobSpec{Flow: "mgs", N: 32, Iters: 4}
+}
+
+// longSpec is a job with a large enough iteration budget that tests
+// can reliably observe (and interrupt) it mid-run.
+func longSpec() JobSpec {
+	return JobSpec{Flow: "fullchip", N: 32, Iters: 4000}
+}
+
+func postJob(t *testing.T, ts *httptest.Server, spec JobSpec) submitResponse {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: %d: %s", resp.StatusCode, b)
+	}
+	var sr submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) Status {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %s: %d: %s", id, resp.StatusCode, b)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// waitFor polls the job until cond holds or the deadline passes.
+func waitFor(t *testing.T, ts *httptest.Server, id string, timeout time.Duration, cond func(Status) bool) Status {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st := getStatus(t, ts, id)
+		if cond(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s: condition not met before deadline; last state=%s progress=%+v err=%q",
+				id, st.State, st.Progress, st.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestLifecycleSubmitPollResult(t *testing.T) {
+	_, ts := newTestServer(t, testOpts())
+	sr := postJob(t, ts, smallSpec())
+	if sr.Job.State != StateQueued || sr.Job.ID == "" {
+		t.Fatalf("submit snapshot %+v", sr.Job)
+	}
+
+	st := waitFor(t, ts, sr.Job.ID, 60*time.Second, func(st Status) bool { return st.State.Terminal() })
+	if st.State != StateDone {
+		t.Fatalf("job finished %s (%s)", st.State, st.Error)
+	}
+	if st.Progress.Units == 0 || st.Progress.Stage != "inspect" {
+		t.Fatalf("progress not reported: %+v", st.Progress)
+	}
+	if st.StartedAt == nil || st.FinishedAt == nil {
+		t.Fatalf("timestamps missing: %+v", st)
+	}
+
+	// Result JSON (internal/report metric shapes).
+	resp, err := http.Get(ts.URL + sr.ResultURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: %d", resp.StatusCode)
+	}
+	var rp resultPayload
+	if err := json.NewDecoder(resp.Body).Decode(&rp); err != nil {
+		t.Fatal(err)
+	}
+	if rp.Method != "multigrid-schwarz" || rp.Metrics.L2 <= 0 || rp.AreaPx <= 0 {
+		t.Fatalf("implausible result %+v", rp)
+	}
+	if rp.DeviceJobs == 0 {
+		t.Fatal("cluster accounting missing from result")
+	}
+
+	// Mask download (internal/imgio PGM).
+	mresp, err := http.Get(ts.URL + rp.MaskURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mask, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(mask, []byte("P5\n64 64\n255\n")) {
+		t.Fatalf("mask is not a 64x64 P5 PGM: %q", mask[:min(len(mask), 16)])
+	}
+}
+
+func TestCancelMidRunStopsBeforeBudget(t *testing.T) {
+	_, ts := newTestServer(t, testOpts())
+	sr := postJob(t, ts, longSpec())
+
+	// Wait until the flow is demonstrably mid-optimisation.
+	waitFor(t, ts, sr.Job.ID, 30*time.Second, func(st Status) bool {
+		return st.State == StateRunning && st.Progress.Units > 0
+	})
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+sr.Job.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: %d", resp.StatusCode)
+	}
+	cancelled := time.Now()
+
+	st := waitFor(t, ts, sr.Job.ID, 30*time.Second, func(st Status) bool { return st.State.Terminal() })
+	if st.State != StateCancelled {
+		t.Fatalf("state %s (%s), want cancelled — the 4000-iteration budget must not run out first", st.State, st.Error)
+	}
+	// The flow must stop within an iteration or two of the cancel, not
+	// after finishing its budget (which takes tens of seconds).
+	if lag := st.FinishedAt.Sub(cancelled); lag > 5*time.Second {
+		t.Fatalf("cancellation latency %v: job ran on after DELETE", lag)
+	}
+	if strings.TrimSpace(st.Error) == "" {
+		t.Fatal("cancelled job must carry the cancellation error")
+	}
+}
+
+func TestCancelQueuedJobNeverRuns(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueCap: 8})
+	blocker := postJob(t, ts, longSpec())
+	queued := postJob(t, ts, smallSpec())
+
+	// The single worker is occupied; the second job is still queued.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+queued.Job.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	st := getStatus(t, ts, queued.Job.ID)
+	if st.State != StateCancelled {
+		t.Fatalf("queued job state %s, want immediate cancellation", st.State)
+	}
+	if st.StartedAt != nil {
+		t.Fatal("cancelled-while-queued job must never start")
+	}
+
+	// Unblock the worker for the cleanup shutdown.
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+blocker.Job.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}
+
+func TestDeadlineExpiryFailsJob(t *testing.T) {
+	_, ts := newTestServer(t, testOpts())
+	spec := longSpec()
+	spec.TimeoutMS = 150
+	sr := postJob(t, ts, spec)
+
+	st := waitFor(t, ts, sr.Job.ID, 30*time.Second, func(st Status) bool { return st.State.Terminal() })
+	if st.State != StateFailed {
+		t.Fatalf("state %s (%s), want failed on deadline", st.State, st.Error)
+	}
+	if !strings.Contains(st.Error, "deadline") {
+		t.Fatalf("error %q does not name the deadline", st.Error)
+	}
+	if run := st.FinishedAt.Sub(*st.StartedAt); run > 5*time.Second {
+		t.Fatalf("deadline job ran %v, far past its 150ms budget", run)
+	}
+}
+
+func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+	s, err := New(Options{Workers: 2, DevicesPerWorker: 1, QueueCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	jobs := []submitResponse{
+		postJob(t, ts, smallSpec()),
+		postJob(t, ts, JobSpec{Flow: "dc", N: 32, Iters: 3}),
+		postJob(t, ts, JobSpec{Flow: "select", N: 32, Iters: 3}),
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain failed: %v", err)
+	}
+	for _, j := range jobs {
+		st, err := s.Status(j.Job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != StateDone {
+			t.Fatalf("job %s not drained: %s (%s)", st.ID, st.State, st.Error)
+		}
+	}
+	// Draining servers refuse new work.
+	if _, err := s.Submit(smallSpec()); err != ErrDraining {
+		t.Fatalf("submit after shutdown: %v", err)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: %d", resp.StatusCode)
+	}
+}
+
+func TestShutdownDeadlineCancelsInFlight(t *testing.T) {
+	s, err := New(Options{Workers: 1, QueueCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	sr := postJob(t, ts, longSpec())
+	waitFor(t, ts, sr.Job.ID, 30*time.Second, func(st Status) bool { return st.State == StateRunning })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("shutdown: %v, want deadline exceeded", err)
+	}
+	st, err := s.Status(sr.Job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCancelled {
+		t.Fatalf("in-flight job %s after forced shutdown, want cancelled", st.State)
+	}
+}
+
+func TestQueueBoundsAndValidation(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, QueueCap: 1})
+	// Occupy the worker, fill the queue, then overflow it.
+	postJob(t, ts, longSpec())
+	waitFor := time.Now().Add(10 * time.Second)
+	for {
+		if st := s.List(); len(st) > 0 && st[0].State == StateRunning {
+			break
+		}
+		if time.Now().After(waitFor) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	postJob(t, ts, smallSpec())
+	if _, err := s.Submit(smallSpec()); err != ErrQueueFull {
+		t.Fatalf("overflow submit: %v, want ErrQueueFull", err)
+	}
+
+	// Spec validation at the HTTP boundary.
+	for _, bad := range []string{
+		`{"flow":"warp"}`,
+		`{"flow":"mgs","n":48}`,
+		`{"flow":"mgs","iters":-2}`,
+		`{"flow":"mgs","unknown_knob":1}`,
+		`not json`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("spec %s accepted with %d", bad, resp.StatusCode)
+		}
+	}
+
+	// Cancel everything so the cleanup shutdown drains instantly
+	// instead of finishing the 4000-iteration blocker.
+	for _, st := range s.List() {
+		if !st.State.Terminal() {
+			_, _ = s.Cancel(st.ID)
+		}
+	}
+}
+
+func TestUploadedLayoutJob(t *testing.T) {
+	clip, err := layout.Generate(layout.DefaultConfig(64, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := layout.WriteRects(&buf, clip); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, testOpts())
+	sr := postJob(t, ts, JobSpec{Flow: "dc", N: 32, Iters: 3, LayoutRects: buf.String()})
+	st := waitFor(t, ts, sr.Job.ID, 60*time.Second, func(st Status) bool { return st.State.Terminal() })
+	if st.State != StateDone {
+		t.Fatalf("uploaded-layout job %s (%s)", st.State, st.Error)
+	}
+}
+
+func TestMetricsAndHealth(t *testing.T) {
+	_, ts := newTestServer(t, testOpts())
+	sr := postJob(t, ts, smallSpec())
+	waitFor(t, ts, sr.Job.ID, 60*time.Second, func(st Status) bool { return st.State.Terminal() })
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"ilt_jobs_submitted_total 1",
+		`ilt_jobs_finished_total{state="done"} 1`,
+		"ilt_queue_depth 0",
+		`ilt_stage_duration_seconds_count{stage="inspect"} 1`,
+		"ilt_device_jobs_total",
+		"ilt_device_busy_seconds_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var hp healthPayload
+	if err := json.NewDecoder(hresp.Body).Decode(&hp); err != nil {
+		t.Fatal(err)
+	}
+	if hresp.StatusCode != http.StatusOK || hp.Status != "ok" || hp.Workers != 2 {
+		t.Fatalf("healthz %d %+v", hresp.StatusCode, hp)
+	}
+}
+
+func TestConcurrentLifecycle(t *testing.T) {
+	// Several jobs racing through submit/poll/cancel across 2 workers:
+	// the -race run is the point of this test.
+	_, ts := newTestServer(t, testOpts())
+	var ids []string
+	for i := 0; i < 5; i++ {
+		spec := smallSpec()
+		spec.Seed = int64(i + 1)
+		ids = append(ids, postJob(t, ts, spec).Job.ID)
+	}
+	// Cancel one of them concurrently with execution.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+ids[3], nil)
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+	for _, id := range ids {
+		st := waitFor(t, ts, id, 120*time.Second, func(st Status) bool { return st.State.Terminal() })
+		if st.State == StateFailed {
+			t.Fatalf("job %s failed: %s", id, st.Error)
+		}
+	}
+	// Not-found and not-done behaviours.
+	resp, err := http.Get(ts.URL + "/v1/jobs/zzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing job: %d", resp.StatusCode)
+	}
+}
