@@ -13,49 +13,27 @@
 //
 // Scale is selected with -scale (small | default | full); "full" is
 // the paper-shaped 20-clip run.
+//
+// With -json the run also writes a benchfmt trajectory document
+// (BENCH_*.json) carrying full provenance — scale, optics, compute
+// pool width, git describe, and a host-calibration measurement — so
+// cmd/benchdiff can gate PRs against a committed baseline without
+// ever comparing incomparable runs.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"strings"
 	"time"
 
 	"mgsilt/internal/bench"
+	"mgsilt/internal/benchfmt"
+	"mgsilt/internal/parallel"
 	"mgsilt/internal/report"
 )
-
-// jsonMethod is the machine-readable per-method metric group of one
-// experiment: the Table 1 columns (L2 / PVBand / Stitch / TAT) plus
-// the ratio row normalised against "Ours".
-type jsonMethod struct {
-	Name    string         `json:"name"`
-	Metrics report.Metrics `json:"metrics"`
-	Ratio   report.Metrics `json:"ratio"`
-}
-
-// jsonExperiment captures one experiment's output: the structured
-// per-method metrics when the experiment produces them (table1) and
-// the raw table (headers + rows) always, so perf-trajectory tooling
-// can diff any experiment across PRs.
-type jsonExperiment struct {
-	Name    string       `json:"experiment"`
-	Methods []jsonMethod `json:"methods,omitempty"`
-	Headers []string     `json:"headers"`
-	Rows    [][]string   `json:"rows"`
-}
-
-// jsonDoc is the -json output document (BENCH_*.json trajectory files).
-type jsonDoc struct {
-	GeneratedAt string           `json:"generated_at"`
-	Scale       string           `json:"scale"`
-	N           int              `json:"n"`
-	Clip        int              `json:"clip"`
-	Cases       int              `json:"cases"`
-	Iters       int              `json:"iters"`
-	Experiments []jsonExperiment `json:"experiments"`
-}
 
 func main() {
 	var (
@@ -65,8 +43,12 @@ func main() {
 		jsonPath   = flag.String("json", "", "also write machine-readable per-method metrics JSON to this file")
 		verbose    = flag.Bool("v", false, "print per-run progress")
 		devices    = flag.Int("devices", 4, "maximum simulated devices for the speedup sweep")
+		workers    = flag.Int("workers", 0, "compute pool width for FFT/convolution fan-out (0 = ILT_WORKERS env or GOMAXPROCS)")
 	)
 	flag.Parse()
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
 
 	var scale bench.Scale
 	switch *scaleName {
@@ -91,18 +73,26 @@ func main() {
 		fatal(err)
 	}
 
-	doc := jsonDoc{
+	doc := benchfmt.Doc{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		Scale:       scale.Name,
 		N:           scale.N,
 		Clip:        scale.Clip,
 		Cases:       scale.Cases,
 		Iters:       scale.Iters,
+		Workers:     parallel.Workers(),
+		Kernels:     env.KernelProvenance(),
+		GitDescribe: gitDescribe(),
+	}
+	if *jsonPath != "" {
+		// Calibrate before running experiments so the measurement is
+		// taken on an otherwise-quiet process.
+		doc.CalibNS = benchfmt.Calibrate()
 	}
 
-	emit := func(name, title string, tab *report.Table, methods []jsonMethod) {
-		fmt.Printf("== %s (scale=%s, N=%d, clip=%d, %d cases, %d iters)\n",
-			title, scale.Name, scale.N, scale.Clip, scale.Cases, scale.Iters)
+	emit := func(name, title string, tab *report.Table, methods []benchfmt.Method) {
+		fmt.Printf("== %s (scale=%s, N=%d, clip=%d, %d cases, %d iters, %d workers)\n",
+			title, scale.Name, scale.N, scale.Clip, scale.Cases, scale.Iters, parallel.Workers())
 		var err error
 		if *csv {
 			err = tab.FprintCSV(os.Stdout)
@@ -114,7 +104,7 @@ func main() {
 		}
 		fmt.Println()
 		if *jsonPath != "" {
-			doc.Experiments = append(doc.Experiments, jsonExperiment{
+			doc.Experiments = append(doc.Experiments, benchfmt.Experiment{
 				Name:    name,
 				Methods: methods,
 				Headers: tab.Headers(),
@@ -130,9 +120,9 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			var methods []jsonMethod
+			var methods []benchfmt.Method
 			for i, m := range res.Methods {
-				methods = append(methods, jsonMethod{Name: m, Metrics: res.Average[i], Ratio: res.Ratio[i]})
+				methods = append(methods, benchfmt.Method{Name: m, Metrics: res.Average[i], Ratio: res.Ratio[i]})
 			}
 			emit(name, "Table 1: method comparison", res.Render(), methods)
 		case "fig6":
@@ -192,15 +182,22 @@ func main() {
 	}
 
 	if *jsonPath != "" {
-		data, err := json.MarshalIndent(doc, "", "  ")
-		if err != nil {
-			fatal(err)
-		}
-		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+		if err := doc.WriteFile(*jsonPath); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "iltbench: wrote %s\n", *jsonPath)
 	}
+}
+
+// gitDescribe records the producing tree for artifact forensics;
+// empty when git (or the repository) is unavailable, which benchdiff
+// tolerates — it gates on semantic provenance, not on tree identity.
+func gitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func fatal(err error) {

@@ -18,6 +18,7 @@ import (
 	"mgsilt/internal/litho"
 	"mgsilt/internal/metrics"
 	"mgsilt/internal/opt"
+	"mgsilt/internal/parallel"
 )
 
 func main() {
@@ -28,9 +29,13 @@ func main() {
 		rects   = flag.String("rects", "", "optional .rects geometry file to optimise instead of a generated clip")
 		iters   = flag.Int("iters", 100, "baseline iteration budget")
 		devices = flag.Int("devices", 1, "simulated devices")
+		workers = flag.Int("workers", 0, "compute pool width for FFT/convolution fan-out (0 = ILT_WORKERS env or GOMAXPROCS)")
 		outDir  = flag.String("out", "", "directory for PNG dumps (optional)")
 	)
 	flag.Parse()
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
 
 	kc := kernels.DefaultConfig(*n)
 	nom, err := kernels.Generate(kc)

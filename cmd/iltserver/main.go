@@ -39,6 +39,7 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 		maxN    = flag.Int("max-n", 256, "largest accepted simulator grid")
+		compute = flag.Int("compute-workers", 0, "process-wide compute pool width for FFT/convolution fan-out (0 = ILT_WORKERS env or GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -48,6 +49,7 @@ func main() {
 		QueueCap:         *queue,
 		DefaultTimeout:   *timeout,
 		MaxN:             *maxN,
+		ComputeWorkers:   *compute,
 	})
 	if err != nil {
 		fatal(err)

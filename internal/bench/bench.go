@@ -87,6 +87,15 @@ func NewEnv(sc Scale) (*Env, error) {
 	return &Env{Scale: sc, Sim: sim, Clips: clips}, nil
 }
 
+// KernelProvenance describes the optics the environment was built
+// with: the nominal kernel configuration plus the hardcoded defocus
+// condition NewEnv applies for PV-band evaluation. Benchmark documents
+// embed it so the regression gate never compares runs that exercised
+// different optics.
+func (e *Env) KernelProvenance() string {
+	return kernels.DefaultConfig(e.Scale.N).Provenance() + ";defocus=0.8"
+}
+
 // BaseConfig returns the shared experiment configuration.
 func (e *Env) BaseConfig() core.Config {
 	return core.DefaultConfig(e.Sim, e.Scale.Clip, e.Scale.Iters)

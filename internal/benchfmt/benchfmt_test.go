@@ -1,0 +1,198 @@
+package benchfmt
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mgsilt/internal/report"
+)
+
+// sample builds a comparable two-method document.
+func sample() *Doc {
+	return &Doc{
+		GeneratedAt: "2026-01-01T00:00:00Z",
+		Scale:       "small",
+		N:           64, Clip: 128, Cases: 3, Iters: 40,
+		Workers: 4,
+		Kernels: "abbe:n=64",
+		CalibNS: 20_000_000, // 20ms reference
+		Experiments: []Experiment{{
+			Name: "table1",
+			Methods: []Method{
+				{Name: "GLS-ILT", Metrics: report.Metrics{L2: 900, PVBand: 500, Stitch: 40, TATSec: 2.0}},
+				{Name: "Ours", Metrics: report.Metrics{L2: 700, PVBand: 450, Stitch: 10, TATSec: 1.0}},
+			},
+			Headers: []string{"case"},
+			Rows:    [][]string{{"c1"}},
+		}},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	d := sample()
+	if err := d.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scale != d.Scale || got.Workers != d.Workers || got.Kernels != d.Kernels || got.CalibNS != d.CalibNS {
+		t.Fatalf("provenance lost in round trip: %+v", got)
+	}
+	if len(got.Experiments) != 1 || len(got.Experiments[0].Methods) != 2 {
+		t.Fatalf("experiments lost in round trip: %+v", got.Experiments)
+	}
+	if got.Experiments[0].Methods[1].Metrics.TATSec != 1.0 {
+		t.Fatalf("metrics lost in round trip")
+	}
+}
+
+func TestCompareIdenticalPasses(t *testing.T) {
+	res, err := Compare(sample(), sample(), CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("identical docs flagged: %v", res.Regressions)
+	}
+	if res.Checked != 8 { // 2 methods x (3 quality + 1 TAT)
+		t.Fatalf("checked %d comparisons, want 8", res.Checked)
+	}
+}
+
+// TestCompareSyntheticSlowdownFails is the acceptance check for the CI
+// gate: a synthetic 2x TAT slowdown must trip the >10% threshold.
+func TestCompareSyntheticSlowdownFails(t *testing.T) {
+	cur := sample()
+	for i := range cur.Experiments[0].Methods {
+		cur.Experiments[0].Methods[i].Metrics.TATSec *= 2
+	}
+	res, err := Compare(sample(), cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("2x slowdown passed the gate")
+	}
+	if len(res.Regressions) != 2 {
+		t.Fatalf("want 2 TAT regressions, got %v", res.Regressions)
+	}
+	for _, f := range res.Regressions {
+		if f.Metric != "TAT(norm)" {
+			t.Fatalf("unexpected metric flagged: %v", f)
+		}
+		if math.Abs(f.Rel-1.0) > 1e-9 {
+			t.Fatalf("relative growth %v, want +100%%", f.Rel)
+		}
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	cur := sample()
+	cur.Experiments[0].Methods[1].Metrics.TATSec *= 1.05 // +5% < 10%
+	res, err := Compare(sample(), cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("+5%% TAT tripped the 10%% gate: %v", res.Regressions)
+	}
+}
+
+func TestCompareCalibrationNormalises(t *testing.T) {
+	// Current host is 2x slower (calibration doubles) and TATs double:
+	// normalised TAT is unchanged, gate passes.
+	cur := sample()
+	cur.CalibNS *= 2
+	for i := range cur.Experiments[0].Methods {
+		cur.Experiments[0].Methods[i].Metrics.TATSec *= 2
+	}
+	res, err := Compare(sample(), cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("calibration failed to normalise host speed: %v", res.Regressions)
+	}
+	// Absolute mode ignores calibration and fails.
+	res, err = Compare(sample(), cur, CompareOptions{AbsoluteTAT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("absolute mode ignored a 2x raw slowdown")
+	}
+}
+
+func TestCompareQualityRegressionFails(t *testing.T) {
+	cur := sample()
+	cur.Experiments[0].Methods[1].Metrics.Stitch *= 1.001 // any growth
+	res, err := Compare(sample(), cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("stitch-loss regression passed the gate")
+	}
+	if f := res.Regressions[0]; f.Metric != "Stitch" || f.Method != "Ours" {
+		t.Fatalf("wrong finding: %v", f)
+	}
+	// Improvements never trip the gate.
+	cur = sample()
+	cur.Experiments[0].Methods[1].Metrics.L2 *= 0.5
+	res, err = Compare(sample(), cur, CompareOptions{})
+	if err != nil || !res.OK() {
+		t.Fatalf("improvement flagged: %v %v", res, err)
+	}
+}
+
+func TestCompareRefusesIncomparable(t *testing.T) {
+	mutate := []struct {
+		field string
+		fn    func(*Doc)
+	}{
+		{"scale", func(d *Doc) { d.Scale = "full" }},
+		{"n", func(d *Doc) { d.N = 128 }},
+		{"clip", func(d *Doc) { d.Clip = 256 }},
+		{"cases", func(d *Doc) { d.Cases = 20 }},
+		{"iters", func(d *Doc) { d.Iters = 100 }},
+		{"kernels", func(d *Doc) { d.Kernels = "abbe:n=128" }},
+		{"workers", func(d *Doc) { d.Workers = 1 }},
+	}
+	for _, m := range mutate {
+		cur := sample()
+		m.fn(cur)
+		if _, err := Compare(sample(), cur, CompareOptions{}); err == nil {
+			t.Fatalf("%s mismatch accepted", m.field)
+		} else if !strings.Contains(err.Error(), m.field) {
+			t.Fatalf("%s mismatch reported as: %v", m.field, err)
+		}
+	}
+}
+
+func TestCompareMissingMethodErrors(t *testing.T) {
+	cur := sample()
+	cur.Experiments[0].Methods = cur.Experiments[0].Methods[:1]
+	if _, err := Compare(sample(), cur, CompareOptions{}); err == nil {
+		t.Fatal("missing method accepted")
+	}
+	cur = sample()
+	cur.Experiments = nil
+	if _, err := Compare(sample(), cur, CompareOptions{}); err == nil {
+		t.Fatal("missing experiment accepted")
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration loop in -short mode")
+	}
+	c := Calibrate()
+	if c <= 0 {
+		t.Fatalf("Calibrate() = %d", c)
+	}
+}

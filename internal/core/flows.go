@@ -16,6 +16,16 @@ import (
 // (indexed like p.Tiles; unselected entries are nil). Each tile is
 // cropped from the *current* layout, so margins carry the neighbours'
 // latest values — the modified-Schwarz boundary condition of Eq. (11).
+//
+// Parallelism is two-level and shares one budget: the cluster
+// dispatches up to min(devices, parallel.Workers()) tile solves
+// concurrently (same-colour tiles in the refine stage, whole batches
+// elsewhere), and each solve's litho evaluations fan their per-kernel
+// convolutions out over the same internal/parallel pool. Because both
+// levels draw from the one token budget and pool acquisition never
+// blocks, nesting cannot oversubscribe the host or deadlock: when the
+// tile level saturates the pool, kernel loops run serial on their
+// tile's goroutine.
 func (c *Config) solveTiles(cl *device.Cluster, p *tile.Partition, m, target *grid.Mat, params opt.Params, indices []int, freeze []*grid.Mat) ([]*grid.Mat, error) {
 	if indices == nil {
 		indices = make([]int, len(p.Tiles))

@@ -18,9 +18,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
+
+	"mgsilt/internal/parallel"
 )
 
 // Cluster is a pool of simulated accelerators.
@@ -88,11 +89,15 @@ func (c *Cluster) Run(jobs []Job) error {
 // greedy schedule a work-stealing GPU pool produces for homogeneous
 // tile solves.
 //
-// Real execution uses min(devices, GOMAXPROCS) workers so measured
-// durations are not inflated by oversubscribing the host; the reported
-// timing comes from the virtual schedule either way. Jobs whose
-// working set exceeds device memory fail without running; the combined
-// error of all failures is returned.
+// Real execution uses min(devices, parallel.Workers()) dispatch
+// goroutines — the same process-wide pool width that bounds the
+// kernel-level convolution fan-out inside each tile solve — so stacking
+// tile-level and kernel-level parallelism cannot oversubscribe the
+// host: the inner levels draw helper tokens from the one shared budget
+// and degrade to serial when the tile level has consumed it. The
+// reported timing comes from the virtual schedule either way. Jobs
+// whose working set exceeds device memory fail without running; the
+// combined error of all failures is returned.
 //
 // Once ctx is cancelled no further queued jobs are dispatched: jobs
 // already running finish their Work (long-running Work should observe
@@ -106,7 +111,7 @@ func (c *Cluster) RunCtx(ctx context.Context, jobs []Job) error {
 	ran := make([]bool, len(jobs))
 
 	workers := c.n
-	if g := runtime.GOMAXPROCS(0); g < workers {
+	if g := parallel.Workers(); g < workers {
 		workers = g
 	}
 	queue := make(chan int)

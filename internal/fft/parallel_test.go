@@ -1,0 +1,88 @@
+package fft
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mgsilt/internal/grid"
+	"mgsilt/internal/parallel"
+)
+
+func randCMat(rng *rand.Rand, h, w int) *grid.CMat {
+	m := grid.NewCMat(h, w)
+	copy(m.Data, randComplex(rng, h*w))
+	return m
+}
+
+// TestTransform2DParallelEquivalence pins the bit-identity contract of
+// the parallel row/column fan-out: every (row, column) 1-D transform
+// writes a disjoint slice, so chunking must not change a single bit.
+// 256² is at the crossover, so the parallel path actually runs.
+func TestTransform2DParallelEquivalence(t *testing.T) {
+	const n = 256
+	if n*n < parallelCrossover {
+		t.Fatalf("test size %d² below crossover %d; parallel path not exercised", n, parallelCrossover)
+	}
+	rng := rand.New(rand.NewSource(99))
+	src := randCMat(rng, n, n)
+
+	run := func(workers int, inverse bool) *grid.CMat {
+		prev := parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(prev)
+		m := src.Clone()
+		if inverse {
+			Inverse2D(m)
+		} else {
+			Forward2D(m)
+		}
+		return m
+	}
+
+	for _, inverse := range []bool{false, true} {
+		ref := run(1, inverse)
+		for _, w := range []int{2, 4, 7} {
+			got := run(w, inverse)
+			for i := range ref.Data {
+				if got.Data[i] != ref.Data[i] {
+					t.Fatalf("inverse=%v workers=%d: element %d differs: %v vs %v",
+						inverse, w, i, got.Data[i], ref.Data[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTransform2DBelowCrossoverStaysSerial documents the dispatch
+// condition: small transforms never pay the fork/join overhead.
+func TestTransform2DBelowCrossoverStaysSerial(t *testing.T) {
+	prev := parallel.SetWorkers(4)
+	defer parallel.SetWorkers(prev)
+	rng := rand.New(rand.NewSource(3))
+	m := randCMat(rng, 64, 64)
+	ref := m.Clone()
+	Forward2D(m)
+	Inverse2D(m)
+	if !m.AlmostEqual(ref, 1e-9) {
+		t.Fatal("round trip failed below crossover")
+	}
+}
+
+func BenchmarkTransform2D(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{128, 512} {
+		src := randCMat(rng, n, n)
+		for _, w := range []int{1, 4} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, w), func(b *testing.B) {
+				prev := parallel.SetWorkers(w)
+				defer parallel.SetWorkers(prev)
+				m := src.Clone()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					Forward2D(m)
+					Inverse2D(m)
+				}
+			})
+		}
+	}
+}

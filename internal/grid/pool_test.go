@@ -49,3 +49,41 @@ func TestPutCMatRejectsAliasedView(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchHelpers covers the burst Get/Put forms used by the parallel
+// Hopkins convolution: correct shapes, nil tolerance, slice clearing.
+func TestBatchHelpers(t *testing.T) {
+	ms := GetMats(5, 4, 8)
+	if len(ms) != 5 {
+		t.Fatalf("GetMats(5) returned %d", len(ms))
+	}
+	for i, m := range ms {
+		if m.H != 4 || m.W != 8 || len(m.Data) != 32 {
+			t.Fatalf("GetMats[%d] = %dx%d with %d data", i, m.H, m.W, len(m.Data))
+		}
+	}
+	ms[2] = nil // partially-consumed batch
+	PutMats(ms)
+	for i, m := range ms {
+		if m != nil {
+			t.Fatalf("PutMats left entry %d set", i)
+		}
+	}
+
+	cs := GetCMats(3, 2, 2)
+	if len(cs) != 3 {
+		t.Fatalf("GetCMats(3) returned %d", len(cs))
+	}
+	for i, m := range cs {
+		if m.H != 2 || m.W != 2 || len(m.Data) != 4 {
+			t.Fatalf("GetCMats[%d] = %dx%d with %d data", i, m.H, m.W, len(m.Data))
+		}
+	}
+	cs[0] = nil
+	PutCMats(cs)
+	for i, m := range cs {
+		if m != nil {
+			t.Fatalf("PutCMats left entry %d set", i)
+		}
+	}
+}

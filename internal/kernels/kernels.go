@@ -81,6 +81,16 @@ func DefaultConfig(n int) Config {
 	}
 }
 
+// Provenance returns a compact, deterministic description of the
+// optics this configuration generates. Benchmark documents embed it so
+// the regression gate can refuse to compare runs that exercised
+// different kernel sets (cmd/benchdiff treats a mismatch as
+// incomparable rather than producing a meaningless verdict).
+func (c Config) Provenance() string {
+	return fmt.Sprintf("abbe:n=%d,cutoff=%.5g,sigma=[%g,%g],rings=%dx%d,defocus=%g",
+		c.N, c.Cutoff, c.SigmaIn, c.SigmaOut, c.Rings, c.PointsPerRing, c.Defocus)
+}
+
 // Validate reports whether the configuration is usable.
 func (c Config) Validate() error {
 	if !fft.IsPow2(c.N) {

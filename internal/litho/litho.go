@@ -25,6 +25,7 @@ import (
 	"mgsilt/internal/fft"
 	"mgsilt/internal/grid"
 	"mgsilt/internal/kernels"
+	"mgsilt/internal/parallel"
 )
 
 // Focus selects between the nominal-focus and defocused kernel sets.
@@ -54,6 +55,15 @@ type Config struct {
 	// DoseDelta is the ± dose variation of the process window (0.02
 	// in the paper).
 	DoseDelta float64
+	// Workers caps the per-evaluation kernel-loop parallelism of this
+	// simulator: Aerial and LossGrad fan the independent per-kernel
+	// convolutions out over at most Workers goroutines drawn from the
+	// shared internal/parallel pool. 0 (the default) uses the pool
+	// width (GOMAXPROCS or ILT_WORKERS); 1 forces the serial path.
+	// Parallel results are bit-identical to serial for every value —
+	// per-kernel partials are reduced in kernel order — so this is a
+	// pure performance knob.
+	Workers int
 }
 
 // DefaultConfig returns the resist parameters used by the experiment
@@ -207,21 +217,67 @@ func (s *Simulator) AerialScaled(mask *grid.Mat, stretch int, cond Condition) *g
 	return s.aerial(mask, stretch, cond.Focus)
 }
 
+// workersFor resolves the kernel-loop parallelism for a k-kernel
+// evaluation: Config.Workers (0 → the shared pool width) capped at k.
+func (s *Simulator) workersFor(k int) int {
+	w := s.cfg.Workers
+	if w <= 0 {
+		w = parallel.Workers()
+	}
+	if w > k {
+		w = k
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 func (s *Simulator) aerial(mask *grid.Mat, pixelStretch int, focus Focus) *grid.Mat {
 	p := s.preparedFor(focus, mask.H, s.kernelStretch(mask.H, pixelStretch))
 	fm := grid.GetCMat(mask.H, mask.W).FromReal(mask)
 	fft.Forward2D(fm)
 	intensity := grid.NewMat(mask.H, mask.W)
-	buf := grid.GetCMat(mask.H, mask.W)
-	for i, h := range p.freq {
-		copy(buf.Data, fm.Data)
-		buf.MulElem(h)
-		fft.Inverse2D(buf)
-		buf.AddAbsSqScaled(intensity, p.weights[i])
+	if s.workersFor(len(p.freq)) > 1 {
+		s.aerialParallel(p, fm, intensity)
+	} else {
+		buf := grid.GetCMat(mask.H, mask.W)
+		for i, h := range p.freq {
+			copy(buf.Data, fm.Data)
+			buf.MulElem(h)
+			fft.Inverse2D(buf)
+			buf.AddAbsSqScaled(intensity, p.weights[i])
+		}
+		grid.PutCMat(buf)
 	}
 	grid.PutCMat(fm)
-	grid.PutCMat(buf)
 	return intensity
+}
+
+// aerialParallel fans the per-kernel convolutions of the Hopkins sum
+// out over the worker pool. Each kernel writes its weighted partial
+// intensity w_k·|A_k|² into its own pooled buffer; the partials are
+// then reduced into intensity sequentially in kernel order, which
+// replays the exact floating-point addition sequence of the serial
+// loop (serial: intensity[j] += w_k·|A_k[j]|² for k = 0,1,…;
+// parallel: part_k[j] = 0 + w_k·|A_k[j]|² — identical, since 0 + x
+// round-trips exactly — then intensity[j] += part_k[j] in the same k
+// order). Parallel output is therefore bit-identical to serial.
+func (s *Simulator) aerialParallel(p *prepared, fm *grid.CMat, intensity *grid.Mat) {
+	k := len(p.freq)
+	parts := grid.GetMats(k, intensity.H, intensity.W)
+	parallel.Do(k, s.workersFor(k), func(i int) {
+		buf := grid.GetCMat(fm.H, fm.W)
+		copy(buf.Data, fm.Data)
+		buf.MulElem(p.freq[i])
+		fft.Inverse2D(buf)
+		buf.AddAbsSqScaled(parts[i].Zero(), p.weights[i])
+		grid.PutCMat(buf)
+	})
+	for _, part := range parts {
+		intensity.Add(part)
+	}
+	grid.PutMats(parts)
 }
 
 // PrintResist thresholds an aerial image into a binary wafer image at
@@ -316,23 +372,47 @@ func (s *Simulator) LossGrad(mask, target *grid.Mat, opts LossOpts) (float64, *g
 func (s *Simulator) lossGradCondition(fm *grid.CMat, target *grid.Mat, cond Condition, kernelStretch int, weight float64, grad *grid.Mat) float64 {
 	size := fm.H
 	p := s.preparedFor(cond.Focus, size, kernelStretch)
+	k := len(p.freq)
+	workers := s.workersFor(k)
 
 	// Forward pass: fields and intensity. The field buffers come from
 	// the pool — a LossGrad evaluation otherwise allocates (kernels+4)
 	// full-size matrices per call, which keeps the garbage collector
-	// inside the optimisation loop.
-	fields := make([]*grid.CMat, len(p.freq))
+	// inside the optimisation loop. The per-kernel convolutions are
+	// independent, so they fan out over the worker pool; each kernel's
+	// weighted partial intensity lands in its own pooled buffer and the
+	// partials are reduced in kernel order, replaying the serial
+	// floating-point addition sequence exactly (see aerialParallel).
+	fields := make([]*grid.CMat, k)
 	intensity := grid.GetMat(size, size).Zero()
-	for i, h := range p.freq {
-		a := grid.GetCMat(size, size)
-		copy(a.Data, fm.Data)
-		a.MulElem(h)
-		fft.Inverse2D(a)
-		a.AddAbsSqScaled(intensity, p.weights[i])
-		fields[i] = a
+	if workers > 1 {
+		parts := grid.GetMats(k, size, size)
+		parallel.Do(k, workers, func(i int) {
+			a := grid.GetCMat(size, size)
+			copy(a.Data, fm.Data)
+			a.MulElem(p.freq[i])
+			fft.Inverse2D(a)
+			a.AddAbsSqScaled(parts[i].Zero(), p.weights[i])
+			fields[i] = a
+		})
+		for _, part := range parts {
+			intensity.Add(part)
+		}
+		grid.PutMats(parts)
+	} else {
+		for i, h := range p.freq {
+			a := grid.GetCMat(size, size)
+			copy(a.Data, fm.Data)
+			a.MulElem(h)
+			fft.Inverse2D(a)
+			a.AddAbsSqScaled(intensity, p.weights[i])
+			fields[i] = a
+		}
 	}
 
-	// Resist and loss.
+	// Resist and loss. Kept serial: it is a single O(n²) sweep between
+	// two stacks of O(k·n²·log n) transforms, and the scalar loss
+	// accumulation is order-sensitive.
 	steep, th, dose := s.cfg.SigmoidSteep, s.cfg.Threshold, cond.Dose
 	loss := 0.0
 	g := grid.GetMat(size, size) // ∂L/∂I, fully overwritten below
@@ -343,21 +423,55 @@ func (s *Simulator) lossGradCondition(fm *grid.CMat, target *grid.Mat, cond Cond
 		g.Data[i] = 2 * d * steep * dose * z * (1 - z)
 	}
 
-	// Adjoint pass, accumulated in the frequency domain.
+	// Adjoint pass, accumulated in the frequency domain. Parallel form:
+	// each kernel builds its full frequency-domain contribution
+	// 2w_k·H_k(-f)⊙F(g⊙conj(A_k)) in its own pooled buffer (the exact
+	// per-element expression of the serial loop), and the contributions
+	// are reduced into acc sequentially in kernel order — again
+	// bit-identical to the serial accumulation.
 	acc := grid.GetCMat(size, size).Zero()
-	q := grid.GetCMat(size, size)
-	for i, a := range fields {
-		for j, av := range a.Data {
-			// q = g ⊙ conj(A_k)
-			q.Data[j] = complex(g.Data[j], 0) * complex(real(av), -imag(av))
+	if workers > 1 {
+		terms := make([]*grid.CMat, k)
+		parallel.Do(k, workers, func(i int) {
+			a := fields[i]
+			q := grid.GetCMat(size, size)
+			for j, av := range a.Data {
+				// q = g ⊙ conj(A_k)
+				q.Data[j] = complex(g.Data[j], 0) * complex(real(av), -imag(av))
+			}
+			fft.Forward2D(q)
+			w := complex(2*p.weights[i], 0)
+			fl := p.flipped[i]
+			for j := range q.Data {
+				q.Data[j] = w * fl.Data[j] * q.Data[j]
+			}
+			terms[i] = q
+			grid.PutCMat(a)
+			fields[i] = nil
+		})
+		for _, t := range terms {
+			for j := range acc.Data {
+				acc.Data[j] += t.Data[j]
+			}
 		}
-		fft.Forward2D(q)
-		w := complex(2*p.weights[i], 0)
-		fl := p.flipped[i]
-		for j := range acc.Data {
-			acc.Data[j] += w * fl.Data[j] * q.Data[j]
+		grid.PutCMats(terms)
+	} else {
+		q := grid.GetCMat(size, size)
+		for i, a := range fields {
+			for j, av := range a.Data {
+				// q = g ⊙ conj(A_k)
+				q.Data[j] = complex(g.Data[j], 0) * complex(real(av), -imag(av))
+			}
+			fft.Forward2D(q)
+			w := complex(2*p.weights[i], 0)
+			fl := p.flipped[i]
+			for j := range acc.Data {
+				acc.Data[j] += w * fl.Data[j] * q.Data[j]
+			}
+			grid.PutCMat(a)
+			fields[i] = nil
 		}
-		grid.PutCMat(a)
+		grid.PutCMat(q)
 	}
 	fft.Inverse2D(acc)
 	for j := range grad.Data {
@@ -366,6 +480,5 @@ func (s *Simulator) lossGradCondition(fm *grid.CMat, target *grid.Mat, cond Cond
 	grid.PutMat(intensity)
 	grid.PutMat(g)
 	grid.PutCMat(acc)
-	grid.PutCMat(q)
 	return weight * loss
 }

@@ -1,0 +1,133 @@
+package litho
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"mgsilt/internal/grid"
+	"mgsilt/internal/kernels"
+	"mgsilt/internal/parallel"
+)
+
+// simWithWorkers builds a simulator whose kernel fan-out is pinned to
+// the given per-simulator width (0 = process pool default).
+func simWithWorkers(t testing.TB, workers int) *Simulator {
+	t.Helper()
+	kc := kernels.DefaultConfig(testN)
+	nom := kernels.MustGenerate(kc)
+	def, err := kernels.Defocused(kc, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Workers = workers
+	sim, err := New(nom, def, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func randomMask(n int, seed int64) *grid.Mat {
+	rng := rand.New(rand.NewSource(seed))
+	m := grid.NewMat(n, n)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()
+	}
+	return m
+}
+
+// TestParallelEquivalence is the bit-identity contract of the worker
+// pool: Aerial and LossGrad must produce exactly the same bits at any
+// worker count, because the parallel path accumulates per-kernel
+// partials into private buffers and reduces them in kernel order,
+// replaying the serial floating-point addition sequence.
+func TestParallelEquivalence(t *testing.T) {
+	prev := parallel.SetWorkers(16) // pool wide enough for every width below
+	defer parallel.SetWorkers(prev)
+
+	mask := randomMask(testN, 42)
+	target := centredSquare(testN, 24)
+
+	ref := simWithWorkers(t, 1)
+	refAerial := ref.Aerial(mask, ref.Nominal())
+	refLoss, refGrad := ref.LossGrad(mask, target, LossOpts{Stretch: 1, PVWeight: 0.5})
+
+	for _, w := range []int{2, 3, runtime.NumCPU(), 0} {
+		sim := simWithWorkers(t, w)
+		aerial := sim.Aerial(mask, sim.Nominal())
+		if !aerial.Equal(refAerial) {
+			t.Fatalf("workers=%d: Aerial not bit-identical to serial", w)
+		}
+		loss, grad := sim.LossGrad(mask, target, LossOpts{Stretch: 1, PVWeight: 0.5})
+		if loss != refLoss {
+			t.Fatalf("workers=%d: loss %v != serial %v", w, loss, refLoss)
+		}
+		if !grad.Equal(refGrad) {
+			t.Fatalf("workers=%d: LossGrad gradient not bit-identical to serial", w)
+		}
+	}
+}
+
+// TestParallelEquivalenceStretched covers the coarse-grid path
+// (kernel stretch > 1) used by the multigrid levels.
+func TestParallelEquivalenceStretched(t *testing.T) {
+	prev := parallel.SetWorkers(8)
+	defer parallel.SetWorkers(prev)
+
+	const size = 2 * testN
+	mask := randomMask(size, 7)
+	target := centredSquare(size, 48)
+
+	ref := simWithWorkers(t, 1)
+	refAerial := ref.AerialScaled(mask, 2, ref.Nominal())
+	refLoss, refGrad := ref.LossGrad(mask, target, LossOpts{Stretch: 2})
+
+	sim := simWithWorkers(t, 4)
+	if !sim.AerialScaled(mask, 2, sim.Nominal()).Equal(refAerial) {
+		t.Fatal("stretched Aerial not bit-identical to serial")
+	}
+	loss, grad := sim.LossGrad(mask, target, LossOpts{Stretch: 2})
+	if loss != refLoss || !grad.Equal(refGrad) {
+		t.Fatal("stretched LossGrad not bit-identical to serial")
+	}
+}
+
+func benchWorkers(b *testing.B, workers int, fn func(sim *Simulator)) {
+	prev := parallel.SetWorkers(workers)
+	defer parallel.SetWorkers(prev)
+	sim := simWithWorkers(b, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn(sim)
+	}
+}
+
+func BenchmarkAerial(b *testing.B) {
+	mask := randomMask(testN, 1)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(benchName(w), func(b *testing.B) {
+			benchWorkers(b, w, func(sim *Simulator) {
+				sim.Aerial(mask, sim.Nominal())
+			})
+		})
+	}
+}
+
+func BenchmarkLossGrad(b *testing.B) {
+	mask := randomMask(testN, 2)
+	target := centredSquare(testN, 24)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(benchName(w), func(b *testing.B) {
+			benchWorkers(b, w, func(sim *Simulator) {
+				sim.LossGrad(mask, target, LossOpts{Stretch: 1, PVWeight: 0.5})
+			})
+		})
+	}
+}
+
+func benchName(workers int) string {
+	return fmt.Sprintf("workers=%d", workers)
+}

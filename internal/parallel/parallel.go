@@ -1,0 +1,225 @@
+// Package parallel provides the process-wide bounded worker pool that
+// every CPU hot path of the repository draws from: the per-kernel
+// Hopkins convolution loops of internal/litho, the row/column passes of
+// internal/fft, and — via internal/device — the concurrent tile solves
+// of internal/core.
+//
+// Design. The pool is a token semaphore, not a goroutine pool: a call
+// to Do or DoChunks always runs work on the calling goroutine and only
+// spawns helper goroutines for tokens it can acquire *without
+// blocking*. Two properties follow by construction:
+//
+//   - Bounded concurrency. At most Workers()-1 helper goroutines exist
+//     process-wide at any instant, so stacking parallelism levels
+//     (tile-level solves × kernel-level convolutions × FFT row passes)
+//     cannot oversubscribe the host: inner levels simply find no
+//     tokens and degrade to serial execution on their caller.
+//   - Starvation/deadlock freedom. No call ever waits for a token, so
+//     nested Do calls cannot deadlock no matter how deeply the levels
+//     recurse or how small the pool is.
+//
+// Determinism is the caller's contract: work functions must write only
+// to their own index/chunk. Both entry points guarantee nothing about
+// execution order, so order-sensitive reductions (e.g. the bit-exact
+// ordered accumulation in litho) must be performed by the caller after
+// the parallel section.
+//
+// The pool width defaults to GOMAXPROCS and can be overridden by the
+// ILT_WORKERS environment variable at start-up or SetWorkers at run
+// time (flags, service options).
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	mu     sync.Mutex
+	width  int           // configured concurrency: callers + helpers
+	tokens chan struct{} // helper tokens; capacity width-1
+)
+
+func init() {
+	setLocked(defaultWidth())
+}
+
+// defaultWidth resolves the start-up pool width: ILT_WORKERS when set
+// to a positive integer, GOMAXPROCS otherwise.
+func defaultWidth() int {
+	if s := os.Getenv("ILT_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// setLocked installs a new width. mu must be held (or the caller must
+// be init).
+func setLocked(n int) {
+	if n < 1 {
+		n = 1
+	}
+	width = n
+	// A fresh token channel: helpers that still hold tokens from the
+	// previous channel release into that (now unreferenced) channel,
+	// which is harmless — the new budget applies to new acquisitions.
+	tokens = make(chan struct{}, n-1)
+	for i := 0; i < n-1; i++ {
+		tokens <- struct{}{}
+	}
+}
+
+// Workers returns the configured pool width (the maximum concurrency a
+// single top-level parallel section can reach, caller included).
+func Workers() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return width
+}
+
+// SetWorkers overrides the pool width. n <= 0 restores the start-up
+// default (ILT_WORKERS or GOMAXPROCS). It returns the effective width.
+// Safe for concurrent use; in-flight parallel sections keep the budget
+// they started with.
+func SetWorkers(n int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if n <= 0 {
+		n = defaultWidth()
+	}
+	setLocked(n)
+	return width
+}
+
+// acquire grabs up to max helper tokens without blocking and returns
+// the number granted plus the channel they must be released into.
+func acquire(max int) (int, chan struct{}) {
+	mu.Lock()
+	ch := tokens
+	mu.Unlock()
+	got := 0
+	for got < max {
+		select {
+		case <-ch:
+			got++
+		default:
+			return got, ch
+		}
+	}
+	return got, ch
+}
+
+// Do runs fn(i) for every i in [0, n), distributing indices over the
+// calling goroutine plus as many pool helpers as are free, capped at
+// limit-1 helpers (limit <= 0 means the pool width). Indices are
+// handed out through a shared atomic counter, so uneven task costs
+// balance automatically; execution order is unspecified. Do returns
+// when every index has been processed. fn must confine its writes to
+// data owned by index i.
+func Do(n, limit int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if limit <= 0 {
+		limit = Workers()
+	}
+	want := limit - 1
+	if want > n-1 {
+		want = n - 1
+	}
+	if n == 1 || want <= 0 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	helpers, ch := acquire(want)
+	if helpers == 0 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	run := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for h := 0; h < helpers; h++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { ch <- struct{}{} }()
+			run()
+		}()
+	}
+	run()
+	wg.Wait()
+}
+
+// DoChunks splits [0, n) into one contiguous chunk per participating
+// goroutine (caller + granted helpers, capped at limit participants;
+// limit <= 0 means the pool width) and runs fn(lo, hi) on each chunk.
+// Chunk boundaries depend on how many helpers were free, so fn must be
+// insensitive to the split — the natural fit for loops whose iterations
+// are uniform (FFT row/column passes) and that want per-participant
+// scratch allocated once per chunk.
+func DoChunks(n, limit int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if limit <= 0 {
+		limit = Workers()
+	}
+	want := limit - 1
+	if want > n-1 {
+		want = n - 1
+	}
+	var helpers int
+	var ch chan struct{}
+	if want > 0 {
+		helpers, ch = acquire(want)
+	}
+	parts := helpers + 1
+	if parts == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for p := 1; p < parts; p++ {
+		lo, hi := chunkBounds(n, parts, p)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { ch <- struct{}{} }()
+			fn(lo, hi)
+		}()
+	}
+	lo, hi := chunkBounds(n, parts, 0)
+	fn(lo, hi)
+	wg.Wait()
+}
+
+// chunkBounds returns the half-open range of chunk p of parts over
+// [0, n), sized as evenly as possible.
+func chunkBounds(n, parts, p int) (lo, hi int) {
+	base := n / parts
+	rem := n % parts
+	lo = p*base + min(p, rem)
+	hi = lo + base
+	if p < rem {
+		hi++
+	}
+	return lo, hi
+}

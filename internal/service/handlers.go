@@ -163,11 +163,12 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 type healthPayload struct {
-	Status    string  `json:"status"`
-	Workers   int     `json:"workers"`
-	Queued    int     `json:"queued"`
-	Running   int     `json:"running"`
-	UptimeSec float64 `json:"uptime_seconds"`
+	Status         string  `json:"status"`
+	Workers        int     `json:"workers"`
+	ComputeWorkers int     `json:"compute_workers"`
+	Queued         int     `json:"queued"`
+	Running        int     `json:"running"`
+	UptimeSec      float64 `json:"uptime_seconds"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -179,11 +180,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, healthPayload{
-		Status:    status,
-		Workers:   snap.workers,
-		Queued:    snap.queued,
-		Running:   snap.running,
-		UptimeSec: snap.uptime.Seconds(),
+		Status:         status,
+		Workers:        snap.workers,
+		ComputeWorkers: snap.computeWorkers,
+		Queued:         snap.queued,
+		Running:        snap.running,
+		UptimeSec:      snap.uptime.Seconds(),
 	})
 }
 

@@ -115,6 +115,9 @@ func (r *registry) write(w io.Writer, snap snapshot) {
 	fmt.Fprintf(w, "# HELP ilt_workers Worker pool size.\n")
 	fmt.Fprintf(w, "# TYPE ilt_workers gauge\n")
 	fmt.Fprintf(w, "ilt_workers %d\n", snap.workers)
+	fmt.Fprintf(w, "# HELP ilt_compute_workers Process-wide compute pool width (internal/parallel): per-kernel convolution and FFT fan-out.\n")
+	fmt.Fprintf(w, "# TYPE ilt_compute_workers gauge\n")
+	fmt.Fprintf(w, "ilt_compute_workers %d\n", snap.computeWorkers)
 	fmt.Fprintf(w, "# HELP ilt_uptime_seconds Time since the server started.\n")
 	fmt.Fprintf(w, "# TYPE ilt_uptime_seconds gauge\n")
 	fmt.Fprintf(w, "ilt_uptime_seconds %g\n", snap.uptime.Seconds())

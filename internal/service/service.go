@@ -43,6 +43,7 @@ import (
 	"mgsilt/internal/layout"
 	"mgsilt/internal/litho"
 	"mgsilt/internal/opt"
+	"mgsilt/internal/parallel"
 )
 
 // State is a job's lifecycle state.
@@ -173,6 +174,13 @@ type Options struct {
 	// monopolise the pool.
 	MaxN     int
 	MaxIters int
+	// ComputeWorkers, when positive, sets the process-wide
+	// internal/parallel pool width that every flow's FFT/convolution
+	// hot path draws from (kernel-level fan-out inside each tile
+	// solve). 0 leaves the pool at its start-up default (ILT_WORKERS
+	// env or GOMAXPROCS). This is distinct from Workers, which is the
+	// number of concurrently running jobs.
+	ComputeWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -218,6 +226,9 @@ type Server struct {
 // New builds the server and starts its worker pool.
 func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
+	if opts.ComputeWorkers > 0 {
+		parallel.SetWorkers(opts.ComputeWorkers)
+	}
 	s := &Server{
 		opts:    opts,
 		start:   time.Now(),
@@ -613,6 +624,7 @@ type snapshot struct {
 	queueDepth      int
 	closed          bool
 	workers         int
+	computeWorkers  int // process-wide internal/parallel pool width
 	uptime          time.Duration
 	device          device.Stats
 }
@@ -620,10 +632,11 @@ type snapshot struct {
 func (s *Server) snapshot() snapshot {
 	s.mu.Lock()
 	snap := snapshot{
-		queueDepth: len(s.queue),
-		closed:     s.closed,
-		workers:    s.opts.Workers,
-		uptime:     time.Since(s.start),
+		queueDepth:     len(s.queue),
+		closed:         s.closed,
+		workers:        s.opts.Workers,
+		computeWorkers: parallel.Workers(),
+		uptime:         time.Since(s.start),
 	}
 	for _, j := range s.jobs {
 		switch j.state {
