@@ -11,6 +11,7 @@ import (
 
 	"mgsilt/internal/core"
 	"mgsilt/internal/device"
+	"mgsilt/internal/fault"
 	"mgsilt/internal/grid"
 	"mgsilt/internal/imgio"
 	"mgsilt/internal/kernels"
@@ -23,14 +24,17 @@ import (
 
 func main() {
 	var (
-		method  = flag.String("method", "ours", "ours | dc-multilevel | dc-gls | fullchip | heal")
-		n       = flag.Int("n", 128, "native simulator grid size (power of two)")
-		seed    = flag.Int64("seed", 1, "clip generator seed")
-		rects   = flag.String("rects", "", "optional .rects geometry file to optimise instead of a generated clip")
-		iters   = flag.Int("iters", 100, "baseline iteration budget")
-		devices = flag.Int("devices", 1, "simulated devices")
-		workers = flag.Int("workers", 0, "compute pool width for FFT/convolution fan-out (0 = ILT_WORKERS env or GOMAXPROCS)")
-		outDir  = flag.String("out", "", "directory for PNG dumps (optional)")
+		method    = flag.String("method", "ours", "ours | dc-multilevel | dc-gls | fullchip | heal")
+		n         = flag.Int("n", 128, "native simulator grid size (power of two)")
+		seed      = flag.Int64("seed", 1, "clip generator seed")
+		rects     = flag.String("rects", "", "optional .rects geometry file to optimise instead of a generated clip")
+		iters     = flag.Int("iters", 100, "baseline iteration budget")
+		devices   = flag.Int("devices", 1, "simulated devices")
+		workers   = flag.Int("workers", 0, "compute pool width for FFT/convolution fan-out (0 = ILT_WORKERS env or GOMAXPROCS)")
+		outDir    = flag.String("out", "", "directory for PNG dumps (optional)")
+		faultRate = flag.Float64("fault-rate", 0, "chaos: per-attempt transient fault probability at the device.run site (0 disables)")
+		faultHard = flag.Float64("fault-hard", 0, "chaos: per-attempt hard device-failure probability (quarantines the device)")
+		faultSeed = flag.Int64("fault-seed", 1, "chaos: deterministic fault-schedule seed")
 	)
 	flag.Parse()
 	if *workers > 0 {
@@ -79,6 +83,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *faultRate < 0 || *faultHard < 0 || *faultRate+*faultHard > 1 {
+		fatal(fmt.Errorf("fault rates %g/%g invalid (each >= 0, sum <= 1)", *faultRate, *faultHard))
+	}
+	chaos := *faultRate > 0 || *faultHard > 0
+	if chaos {
+		cfg.Cluster.Injector = fault.NewSeeded(*faultSeed).
+			Site(fault.SiteDeviceRun, fault.Rates{Transient: *faultRate, Hard: *faultHard})
+		cfg.Cluster.Retry = &fault.Retry{}
+	}
 
 	var res *core.Result
 	switch *method {
@@ -113,6 +126,10 @@ func main() {
 	fmt.Printf("stitch loss  : %.1f over %d crossings (max %.1f)\n", res.StitchLoss, len(res.Errors), metrics.MaxLoss(res.Errors))
 	fmt.Printf("errors > %.0f : %d\n", cfg.StitchThreshold, metrics.CountAbove(res.Errors, cfg.StitchThreshold))
 	fmt.Printf("TAT          : %v (devices: %d, device busy: %v)\n", res.TAT.Round(1e6), *devices, res.Stats.TotalBusy.Round(1e6))
+	if chaos {
+		fmt.Printf("chaos        : %d retries, %d device(s) quarantined (reproduce with -fault-seed %d -fault-rate %g -fault-hard %g)\n",
+			res.Stats.Retries, res.Stats.Quarantined, *faultSeed, *faultRate, *faultHard)
+	}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {

@@ -32,14 +32,16 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 2, "concurrent jobs (worker pool size)")
-		devices = flag.Int("devices", 1, "simulated devices per worker cluster")
-		queue   = flag.Int("queue", 64, "job queue capacity")
-		timeout = flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
-		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
-		maxN    = flag.Int("max-n", 256, "largest accepted simulator grid")
-		compute = flag.Int("compute-workers", 0, "process-wide compute pool width for FFT/convolution fan-out (0 = ILT_WORKERS env or GOMAXPROCS)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 2, "concurrent jobs (worker pool size)")
+		devices   = flag.Int("devices", 1, "simulated devices per worker cluster")
+		queue     = flag.Int("queue", 64, "job queue capacity")
+		timeout   = flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		maxN      = flag.Int("max-n", 256, "largest accepted simulator grid")
+		compute   = flag.Int("compute-workers", 0, "process-wide compute pool width for FFT/convolution fan-out (0 = ILT_WORKERS env or GOMAXPROCS)")
+		faultRate = flag.Float64("fault-rate", 0, "chaos: per-attempt transient fault probability at the device.run site (0 disables)")
+		faultSeed = flag.Int64("fault-seed", 1, "chaos: deterministic fault-schedule seed (used with -fault-rate)")
 	)
 	flag.Parse()
 
@@ -50,6 +52,8 @@ func main() {
 		DefaultTimeout:   *timeout,
 		MaxN:             *maxN,
 		ComputeWorkers:   *compute,
+		FaultRate:        *faultRate,
+		FaultSeed:        *faultSeed,
 	})
 	if err != nil {
 		fatal(err)
@@ -67,6 +71,10 @@ func main() {
 	errc := make(chan error, 1)
 	go func() {
 		fmt.Fprintf(os.Stderr, "iltserver: listening on %s (%d workers x %d devices)\n", *addr, *workers, *devices)
+		if *faultRate > 0 {
+			fmt.Fprintf(os.Stderr, "iltserver: chaos injection enabled (rate %g, seed %d) — reproduce with -fault-rate %g -fault-seed %d\n",
+				*faultRate, *faultSeed, *faultRate, *faultSeed)
+		}
 		errc <- httpSrv.ListenAndServe()
 	}()
 

@@ -84,17 +84,76 @@ func (d *Doc) WriteFile(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// Parse decodes and validates a trajectory document from raw bytes.
+// It is the single entry point for untrusted input (ReadFile routes
+// through it, and the fuzz harness attacks it directly), so any
+// document it accepts is safe to hand to Compare and the report
+// renderers.
+func Parse(data []byte) (*Doc, error) {
+	var d Doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// Validate checks the structural invariants every trajectory document
+// must satisfy: non-negative provenance counts and calibration, finite
+// non-negative metrics, named experiments/methods, and table rows as
+// wide as their headers.
+func (d *Doc) Validate() error {
+	switch {
+	case d.N < 0 || d.Clip < 0 || d.Cases < 0 || d.Iters < 0 || d.Workers < 0:
+		return fmt.Errorf("benchfmt: negative provenance count (n=%d clip=%d cases=%d iters=%d workers=%d)",
+			d.N, d.Clip, d.Cases, d.Iters, d.Workers)
+	case d.CalibNS < 0:
+		return fmt.Errorf("benchfmt: negative calibration %d ns", d.CalibNS)
+	}
+	for i := range d.Experiments {
+		e := &d.Experiments[i]
+		if e.Name == "" {
+			return fmt.Errorf("benchfmt: experiment %d has no name", i)
+		}
+		for j := range e.Methods {
+			m := &e.Methods[j]
+			if m.Name == "" {
+				return fmt.Errorf("benchfmt: %s method %d has no name", e.Name, j)
+			}
+			for _, v := range []struct {
+				name string
+				val  float64
+			}{
+				{"L2", m.Metrics.L2}, {"PVBand", m.Metrics.PVBand},
+				{"Stitch", m.Metrics.Stitch}, {"TATSec", m.Metrics.TATSec},
+			} {
+				if math.IsNaN(v.val) || math.IsInf(v.val, 0) || v.val < 0 {
+					return fmt.Errorf("benchfmt: %s/%s metric %s = %v invalid", e.Name, m.Name, v.name, v.val)
+				}
+			}
+		}
+		for j, row := range e.Rows {
+			if len(e.Headers) > 0 && len(row) != len(e.Headers) {
+				return fmt.Errorf("benchfmt: %s row %d has %d cells for %d headers", e.Name, j, len(row), len(e.Headers))
+			}
+		}
+	}
+	return nil
+}
+
 // ReadFile loads a trajectory document.
 func ReadFile(path string) (*Doc, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var d Doc
-	if err := json.Unmarshal(data, &d); err != nil {
-		return nil, fmt.Errorf("benchfmt: %s: %w", path, err)
+	d, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return &d, nil
+	return d, nil
 }
 
 // calibSink prevents the calibration loop from being optimised away.

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mgsilt/internal/device"
+	"mgsilt/internal/fault"
+	"mgsilt/internal/grid"
+	"mgsilt/internal/opt"
+)
+
+// chaosRun executes multigrid-Schwarz on a 4-device cluster with the
+// given injector and returns the result plus the cluster's stats.
+func chaosRun(t *testing.T, target *grid.Mat, inj fault.Injector, retry *fault.Retry) (*Result, device.Stats) {
+	t.Helper()
+	sim := testSim(t)
+	cfg := testConfig(t, sim, 4)
+	cl, err := device.NewCluster(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Injector = inj
+	cl.Retry = retry
+	cfg.Cluster = cl
+	res, err := MultigridSchwarz(cfg, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, cl.Stats()
+}
+
+// TestChaosMGSBitIdentical is the tentpole acceptance test at the core
+// layer: a full multigrid-Schwarz flow under seeded transient faults,
+// a mid-run device loss, and latency spikes must complete with a final
+// mask bit-identical to the fault-free run — retries may cost time,
+// never correctness.
+func TestChaosMGSBitIdentical(t *testing.T) {
+	target := testClipTarget(t, 7)
+	clean, cleanStats := chaosRun(t, target, nil, nil)
+	if cleanStats.Retries != 0 {
+		t.Fatalf("fault-free run recorded %d retries", cleanStats.Retries)
+	}
+
+	deviceDead := fault.InjectorFunc(func(site fault.Site, k fault.Key) fault.Fault {
+		// Kill whichever device runs the first unit of batch 0:
+		// one device dies mid-flow and its work migrates to survivors.
+		if site == fault.SiteDeviceRun && k.Batch == 0 && k.Unit == 0 && k.Attempt == 0 {
+			return fault.Fault{Err: &fault.Error{Site: site, Key: k, IsHard: true}, Hard: true}
+		}
+		return fault.Fault{}
+	})
+
+	cases := []struct {
+		name        string
+		inj         fault.Injector
+		wantRetries bool
+		wantQuar    int
+	}{
+		{
+			name:        "transient-faults",
+			inj:         fault.NewSeeded(42).Site(fault.SiteDeviceRun, fault.Rates{Transient: 0.25}),
+			wantRetries: true,
+		},
+		{
+			name:        "transfer-faults",
+			inj:         fault.NewSeeded(9).Site(fault.SiteDeviceTransfer, fault.Rates{Transient: 0.1}),
+			wantRetries: true,
+		},
+		{
+			name:        "one-device-dead",
+			inj:         deviceDead,
+			wantRetries: true,
+			wantQuar:    1,
+		},
+		{
+			name: "latency-spikes",
+			inj:  fault.NewSeeded(7).Site(fault.SiteDeviceRun, fault.Rates{Latency: 0.5, Spike: 250 * time.Millisecond}),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, stats := chaosRun(t, target, tc.inj, &fault.Retry{})
+			if !res.Mask.Equal(clean.Mask) {
+				t.Fatal("chaos mask differs from fault-free run")
+			}
+			if res.L2 != clean.L2 || res.PVBand != clean.PVBand || res.StitchLoss != clean.StitchLoss {
+				t.Fatal("chaos run changed the reported metrics")
+			}
+			if tc.wantRetries && stats.Retries == 0 {
+				t.Fatal("expected retries, saw none — injector not reaching the dispatch path")
+			}
+			if !tc.wantRetries && stats.Retries != 0 {
+				t.Fatalf("unexpected retries: %d", stats.Retries)
+			}
+			if stats.Quarantined != tc.wantQuar {
+				t.Fatalf("quarantined %d devices, want %d", stats.Quarantined, tc.wantQuar)
+			}
+
+			// Injected latency is charged to the virtual timeline.
+			if tc.name == "latency-spikes" && res.TAT <= clean.TAT {
+				t.Fatalf("latency spikes did not lengthen TAT: %v <= %v", res.TAT, clean.TAT)
+			}
+
+			// Seeded chaos is reproducible: a second identical run must
+			// retry exactly as often and land on the same mask.
+			res2, stats2 := chaosRun(t, target, tc.inj, &fault.Retry{})
+			if stats2.Retries != stats.Retries {
+				t.Fatalf("retry counts diverged across identical chaos runs: %d vs %d", stats.Retries, stats2.Retries)
+			}
+			if !res2.Mask.Equal(res.Mask) {
+				t.Fatal("identical chaos runs produced different masks")
+			}
+		})
+	}
+}
+
+// TestChaosAerialFaultRetried exercises the litho.aerial global hook:
+// an injected fault deep inside the (pure) simulator surfaces as a
+// panic, is converted back to a retryable error at the device job
+// boundary, and the retried attempt reproduces the fault-free mask.
+func TestChaosAerialFaultRetried(t *testing.T) {
+	target := testClipTarget(t, 7)
+	clean, _ := chaosRun(t, target, nil, nil)
+
+	var tripped atomic.Bool
+	fault.Enable(fault.InjectorFunc(func(site fault.Site, k fault.Key) fault.Fault {
+		if site == fault.SiteLithoAerial && tripped.CompareAndSwap(false, true) {
+			return fault.Fault{Err: &fault.Error{Site: site, Key: k}}
+		}
+		return fault.Fault{}
+	}))
+	defer fault.Disable()
+
+	res, stats := chaosRun(t, target, nil, &fault.Retry{})
+	if !tripped.Load() {
+		t.Fatal("aerial hook never fired")
+	}
+	if stats.Retries != 1 {
+		t.Fatalf("one injected aerial fault should cost exactly one retry, got %d", stats.Retries)
+	}
+	if !res.Mask.Equal(clean.Mask) {
+		t.Fatal("aerial-fault run mask differs from fault-free run")
+	}
+}
+
+// TestCheckpointResumeBitIdentical replays multigrid-Schwarz from each
+// emitted checkpoint and requires the resumed runs to reproduce the
+// uninterrupted result bit for bit — the property the service's
+// kill/resume path relies on.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	sim := testSim(t)
+	target := testClipTarget(t, 7)
+
+	var cps []Checkpoint
+	cfg := testConfig(t, sim, 4)
+	cfg.Checkpoint = func(c Checkpoint) { cps = append(cps, c) }
+	full, err := MultigridSchwarz(cfg, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) == 0 {
+		t.Fatal("no checkpoints emitted")
+	}
+	total := cps[0].Total
+	if len(cps) != total {
+		t.Fatalf("%d checkpoints for %d stages", len(cps), total)
+	}
+	for i, cp := range cps {
+		if cp.Flow != "multigrid-schwarz" || cp.Stage != i+1 || cp.Total != total {
+			t.Fatalf("checkpoint %d malformed: %+v", i, cp)
+		}
+		if cp.Mask.H != testClip || cp.Mask.W != testClip {
+			t.Fatalf("checkpoint %d mask is %dx%d", i, cp.Mask.H, cp.Mask.W)
+		}
+	}
+
+	// Resume from every stage, including the final one (pure replay of
+	// the epilogue).
+	for _, cp := range cps {
+		rcfg := testConfig(t, sim, 4)
+		rcfg.Resume = &cp
+		res, err := MultigridSchwarz(rcfg, target)
+		if err != nil {
+			t.Fatalf("resume from stage %d: %v", cp.Stage, err)
+		}
+		if !res.Mask.Equal(full.Mask) {
+			t.Fatalf("resume from stage %d/%d diverged from the uninterrupted run", cp.Stage, cp.Total)
+		}
+		if res.L2 != full.L2 || res.StitchLoss != full.StitchLoss {
+			t.Fatalf("resume from stage %d changed metrics", cp.Stage)
+		}
+	}
+}
+
+// TestResumeValidation rejects checkpoints that do not belong to the
+// flow being resumed.
+func TestResumeValidation(t *testing.T) {
+	sim := testSim(t)
+	target := testClipTarget(t, 7)
+
+	good := Checkpoint{Flow: "multigrid-schwarz", Stage: 1, Total: 4, Mask: grid.NewMat(testClip, testClip)}
+	bad := []Checkpoint{
+		{Flow: "divide-and-conquer", Stage: 1, Total: 4, Mask: grid.NewMat(testClip, testClip)},
+		{Flow: "multigrid-schwarz", Stage: 0, Total: 4, Mask: grid.NewMat(testClip, testClip)},
+		{Flow: "multigrid-schwarz", Stage: 9, Total: 4, Mask: grid.NewMat(testClip, testClip)},
+		{Flow: "multigrid-schwarz", Stage: 1, Total: 4, Mask: grid.NewMat(16, 16)},
+	}
+	for i := range bad {
+		cfg := testConfig(t, sim, 4)
+		cfg.Resume = &bad[i]
+		if _, err := MultigridSchwarz(cfg, target); err == nil {
+			t.Fatalf("bad checkpoint %d accepted: %+v", i, bad[i])
+		}
+	}
+	cfg := testConfig(t, sim, 4)
+	cfg.Resume = &good
+	if _, err := MultigridSchwarz(cfg, target); err != nil {
+		t.Fatalf("valid checkpoint rejected: %v", err)
+	}
+}
+
+// TestDivideAndConquerCheckpointResume covers the baseline flow's
+// single-stage checkpoint: resuming skips the solve entirely and
+// reproduces the assembled result.
+func TestDivideAndConquerCheckpointResume(t *testing.T) {
+	sim := testSim(t)
+	target := testClipTarget(t, 7)
+
+	var cps []Checkpoint
+	cfg := testConfig(t, sim, 4)
+	cfg.Solver = identitySolver{}
+	cfg.Checkpoint = func(c Checkpoint) { cps = append(cps, c) }
+	full, err := DivideAndConquer(cfg, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) != 1 || cps[0].Flow != "divide-and-conquer" || cps[0].Stage != 1 {
+		t.Fatalf("checkpoints %+v", cps)
+	}
+
+	rcfg := testConfig(t, sim, 4)
+	rcfg.Solver = failingSolver{} // must never be called on resume
+	rcfg.Resume = &cps[0]
+	res, err := DivideAndConquer(rcfg, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Mask.Equal(full.Mask) {
+		t.Fatal("resumed divide-and-conquer diverged")
+	}
+}
+
+type failingSolver struct{}
+
+func (failingSolver) Solve(target, init *grid.Mat, p opt.Params) (*grid.Mat, error) {
+	return nil, errors.New("solver must not run on resume")
+}
+func (failingSolver) Name() string { return "failing" }

@@ -55,6 +55,21 @@ type Config struct {
 	// through polling; it must be cheap and non-blocking.
 	Progress func(stage string, iter, total int)
 
+	// Checkpoint, when non-nil, is invoked from the flow's goroutine
+	// after each completed stage with a snapshot sufficient to resume
+	// the flow from that stage (the mask is a private clone). Flows
+	// that checkpoint: MultigridSchwarz (each coarse level, fine stage
+	// and refine sweep is one stage) and DivideAndConquer (one stage).
+	Checkpoint func(Checkpoint)
+
+	// Resume, when non-nil, restarts the flow from the given checkpoint
+	// instead of from scratch: stages up to and including Resume.Stage
+	// are skipped and the layout is seeded from Resume.Mask. The
+	// checkpoint must come from the same flow and an identical Config,
+	// or the result is undefined (flow name and mask shape are
+	// validated; the iteration schedule is the caller's contract).
+	Resume *Checkpoint
+
 	ClipSize   int // layout side (power-of-two multiple of Sim.N())
 	TileSize   int // tile side (the paper uses Sim.N())
 	Margin     int // l: overlap between adjacent tiles is 2l
@@ -198,6 +213,46 @@ func (c *Config) progress(stage string, iter, total int) {
 	if c.Progress != nil {
 		c.Progress(stage, iter, total)
 	}
+}
+
+// checkpoint emits a stage snapshot if a hook is installed.
+func (c *Config) checkpoint(ck Checkpoint) {
+	if c.Checkpoint != nil {
+		c.Checkpoint(ck)
+	}
+}
+
+// Checkpoint is a stage-level snapshot of a running flow: the assembled
+// layout after Stage completed stages. It is what the job service
+// persists so a job killed mid-flow resumes from its last completed
+// stage instead of from scratch.
+type Checkpoint struct {
+	// Flow is the flow that produced the snapshot ("multigrid-schwarz"
+	// or "divide-and-conquer"); Resume validates it.
+	Flow string
+	// Stage counts completed stages, 1-based. For MultigridSchwarz the
+	// stage sequence is coarse levels, then fine Schwarz stages, then
+	// refine sweeps.
+	Stage int
+	// Total is the schedule's stage count, for progress reporting.
+	Total int
+	// Mask is the assembled layout after Stage stages (a clone; safe to
+	// retain).
+	Mask *grid.Mat
+}
+
+// validFor checks that the checkpoint can seed the given flow/geometry.
+func (ck *Checkpoint) validFor(flow string, clip, total int) error {
+	if ck.Flow != flow {
+		return fmt.Errorf("core: checkpoint from flow %q cannot resume %q", ck.Flow, flow)
+	}
+	if ck.Mask == nil || ck.Mask.H != clip || ck.Mask.W != clip {
+		return fmt.Errorf("core: checkpoint mask does not match clip %d", clip)
+	}
+	if ck.Stage < 1 || ck.Stage > total {
+		return fmt.Errorf("core: checkpoint stage %d out of range 1..%d", ck.Stage, total)
+	}
+	return nil
 }
 
 func (c *Config) cluster() *device.Cluster {

@@ -1,15 +1,34 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"mgsilt/internal/device"
+	"mgsilt/internal/fault"
 	"mgsilt/internal/filter"
 	"mgsilt/internal/grid"
 	"mgsilt/internal/opt"
 	"mgsilt/internal/tile"
 )
+
+// recoverInjected converts an injected fault.Panic unwinding out of a
+// flow's own simulator calls (metric evaluation, assembly inspection —
+// anything outside a device job's recovery boundary) into an ordinary
+// flow error, so a process-global chaos injector fails the flow
+// instead of crashing the process. Genuine panics propagate.
+func recoverInjected(err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if fe, ok := fault.FromPanic(r); ok {
+		*err = fe
+		return
+	}
+	panic(r)
+}
 
 // solveTiles optimises the selected tiles of the current layout m
 // against target on the cluster and returns the per-tile solutions
@@ -42,14 +61,18 @@ func (c *Config) solveTiles(cl *device.Cluster, p *tile.Partition, m, target *gr
 		init := m.Crop(s.Y0, s.X0, p.Tile, p.Tile)
 		tgt := target.Crop(s.Y0, s.X0, p.Tile, p.Tile)
 		tileParams := params
-		tileParams.Ctx = c.ctx()
 		if freeze != nil {
 			tileParams.Freeze = freeze[idx]
 		}
 		jobs = append(jobs, device.Job{
 			Pixels: p.Tile * p.Tile,
-			Work: func(int) error {
-				u, err := solver.Solve(tgt, init, tileParams)
+			Work: func(ctx context.Context, _ int) error {
+				// The attempt context carries batch cancellation plus any
+				// per-attempt retry deadline; the solver polls it between
+				// iterations.
+				tp := tileParams
+				tp.Ctx = ctx
+				u, err := solver.Solve(tgt, init, tp)
 				if err != nil {
 					return fmt.Errorf("core: tile %d: %w", s.Index, err)
 				}
@@ -76,15 +99,16 @@ func (c *Config) solveCoarseTiles(cl *device.Cluster, p *tile.Partition, m, targ
 	var mu sync.Mutex
 	jobs := make([]device.Job, 0, len(p.Tiles))
 	solvedSize := p.Tile / s
-	params.Ctx = c.ctx()
 	for _, spec := range p.Tiles {
 		spec := spec
 		init := m.Crop(spec.Y0, spec.X0, p.Tile, p.Tile).Downsample(s)
 		tgt := target.Crop(spec.Y0, spec.X0, p.Tile, p.Tile).Downsample(s)
 		jobs = append(jobs, device.Job{
 			Pixels: solvedSize * solvedSize, // the downsampled working set
-			Work: func(int) error {
-				u, err := solver.Solve(tgt, init, params)
+			Work: func(ctx context.Context, _ int) error {
+				tp := params
+				tp.Ctx = ctx
+				u, err := solver.Solve(tgt, init, tp)
 				if err != nil {
 					return fmt.Errorf("core: coarse tile %d: %w", spec.Index, err)
 				}
@@ -105,7 +129,8 @@ func (c *Config) solveCoarseTiles(cl *device.Cluster, p *tile.Partition, m, targ
 // Algorithm 1 coarse grids, the staged fine-grid modified additive
 // Schwarz of Section 3.3 with Eq. (14) weighted assembly, and the
 // multi-colour multiplicative refine of Section 3.4.
-func MultigridSchwarz(cfg Config, target *grid.Mat) (*Result, error) {
+func MultigridSchwarz(cfg Config, target *grid.Mat) (res *Result, err error) {
+	defer recoverInjected(&err)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -126,9 +151,30 @@ func MultigridSchwarz(cfg Config, target *grid.Mat) (*Result, error) {
 	for s := cfg.CoarseScale; s >= 2; s /= 2 {
 		levels++
 	}
+
+	// Stage accounting for checkpoint/resume: every coarse level, fine
+	// Schwarz stage and refine sweep is one resumable stage.
+	const flowName = "multigrid-schwarz"
+	stageTotal := levels + cfg.FineStages + cfg.RefineIters
+	stageDone, resumeFrom := 0, 0
+	if cfg.Resume != nil {
+		if err := cfg.Resume.validFor(flowName, cfg.ClipSize, stageTotal); err != nil {
+			return nil, err
+		}
+		resumeFrom = cfg.Resume.Stage
+		m = cfg.Resume.Mask.Clone()
+	}
+	// emit snapshots the layout after the stage that just completed.
+	emit := func() {
+		c.checkpoint(Checkpoint{Flow: flowName, Stage: stageDone, Total: stageTotal, Mask: m.Clone()})
+	}
+
 	level := 0
 	for s := cfg.CoarseScale; s >= 2; s /= 2 {
 		level++
+		if stageDone++; stageDone <= resumeFrom {
+			continue // already completed by the checkpointed run
+		}
 		c.progress("coarse", level, levels)
 		coarseTile := s * cfg.TileSize
 		p, err := tile.Part(cfg.ClipSize, cfg.ClipSize, coarseTile, s*cfg.Margin)
@@ -156,6 +202,7 @@ func MultigridSchwarz(cfg Config, target *grid.Mat) (*Result, error) {
 		if r := cfg.CoarseClean; r > 0 {
 			m = filter.Close(filter.Open(m, r), r)
 		}
+		emit()
 	}
 
 	// Fine grid: staged modified additive Schwarz with weighted
@@ -176,6 +223,9 @@ func MultigridSchwarz(cfg Config, target *grid.Mat) (*Result, error) {
 	perStage := cfg.FineIters / cfg.FineStages
 	extra := cfg.FineIters - perStage*cfg.FineStages
 	for stage := 0; stage < cfg.FineStages; stage++ {
+		if stageDone++; stageDone <= resumeFrom {
+			continue
+		}
 		c.progress("fine", stage+1, cfg.FineStages)
 		iters := perStage
 		if stage == 0 {
@@ -187,6 +237,7 @@ func MultigridSchwarz(cfg Config, target *grid.Mat) (*Result, error) {
 			return nil, err
 		}
 		m = p.Assemble(tiles, weights)
+		emit()
 	}
 
 	// Refine: multi-colour multiplicative Schwarz. Same-colour tiles
@@ -194,6 +245,9 @@ func MultigridSchwarz(cfg Config, target *grid.Mat) (*Result, error) {
 	// so each colour sees the previous colours' updates.
 	colors := p.Colors()
 	for it := 0; it < cfg.RefineIters; it++ {
+		if stageDone++; stageDone <= resumeFrom {
+			continue
+		}
 		c.progress("refine", it+1, cfg.RefineIters)
 		for _, group := range colors {
 			params := opt.Params{Iters: cfg.RefineVisitIters, LR: cfg.RefineLR, Stretch: 1, PVWeight: cfg.PVWeight, Plain: cfg.RefinePlain}
@@ -205,6 +259,7 @@ func MultigridSchwarz(cfg Config, target *grid.Mat) (*Result, error) {
 				p.BlendInto(m, sols[idx], weights[idx], idx)
 			}
 		}
+		emit()
 	}
 
 	tat := cl.Stats().SimElapsed - simStart
@@ -215,7 +270,8 @@ func MultigridSchwarz(cfg Config, target *grid.Mat) (*Result, error) {
 // independently to its full budget, assembled once with the hard RAS
 // operator of Eq. (6). Margins never see their neighbours, which is
 // what produces the Fig. 1/Fig. 3 stitch discontinuities.
-func DivideAndConquer(cfg Config, target *grid.Mat) (*Result, error) {
+func DivideAndConquer(cfg Config, target *grid.Mat) (res *Result, err error) {
+	defer recoverInjected(&err)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -229,19 +285,31 @@ func DivideAndConquer(cfg Config, target *grid.Mat) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.progress("solve", 1, 1)
-	params := opt.Params{Iters: cfg.BaselineIters, LR: cfg.LR, Stretch: 1, PVWeight: cfg.PVWeight}
-	tiles, err := c.solveTiles(cl, p, target, target, params, nil, nil)
-	if err != nil {
-		return nil, err
+	const flowName = "divide-and-conquer"
+	var m *grid.Mat
+	if cfg.Resume != nil {
+		// The baseline has a single stage: a valid checkpoint carries
+		// the fully assembled mask, so only evaluation remains.
+		if err := cfg.Resume.validFor(flowName, cfg.ClipSize, 1); err != nil {
+			return nil, err
+		}
+		m = cfg.Resume.Mask.Clone()
+	} else {
+		c.progress("solve", 1, 1)
+		params := opt.Params{Iters: cfg.BaselineIters, LR: cfg.LR, Stretch: 1, PVWeight: cfg.PVWeight}
+		tiles, err := c.solveTiles(cl, p, target, target, params, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		w, err := p.Weights(0)
+		if err != nil {
+			return nil, err
+		}
+		m = p.Assemble(tiles, w)
+		c.checkpoint(Checkpoint{Flow: flowName, Stage: 1, Total: 1, Mask: m.Clone()})
 	}
-	w, err := p.Weights(0)
-	if err != nil {
-		return nil, err
-	}
-	m := p.Assemble(tiles, w)
 	tat := cl.Stats().SimElapsed - simStart
-	name := "divide-and-conquer/" + c.solver().Name()
+	name := flowName + "/" + c.solver().Name()
 	return c.evaluate(name, m, target, p.StitchLines(), tat, cl), nil
 }
 
@@ -250,7 +318,8 @@ func DivideAndConquer(cfg Config, target *grid.Mat) (*Result, error) {
 // overhead: the single job runs with unlimited memory regardless of
 // the cluster's per-device capacity ("the runtime ... is calculated
 // under ideal conditions").
-func FullChip(cfg Config, target *grid.Mat) (*Result, error) {
+func FullChip(cfg Config, target *grid.Mat) (res *Result, err error) {
+	defer recoverInjected(&err)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -261,16 +330,24 @@ func FullChip(cfg Config, target *grid.Mat) (*Result, error) {
 	cl := c.cluster()
 	simStart := cl.Stats().SimElapsed
 	c.progress("solve", 1, 1)
-	params := opt.Params{Iters: cfg.BaselineIters, LR: cfg.LR, Stretch: 1, PVWeight: cfg.PVWeight, Ctx: c.ctx()}
+	params := opt.Params{Iters: cfg.BaselineIters, LR: cfg.LR, Stretch: 1, PVWeight: cfg.PVWeight}
 	// One ideal job: the paper charges full-chip ILT no communication
 	// overhead and assumes a device large enough to hold the clip, so
 	// the job bypasses the per-device memory gate by construction
 	// (Pixels = 0 always fits).
 	var m *grid.Mat
-	job := device.Job{Work: func(int) error {
-		var err error
-		m, err = c.solver().Solve(target, target, params)
-		return err
+	var mmu sync.Mutex
+	job := device.Job{Work: func(ctx context.Context, _ int) error {
+		p := params
+		p.Ctx = ctx
+		u, err := c.solver().Solve(target, target, p)
+		if err != nil {
+			return err
+		}
+		mmu.Lock()
+		m = u
+		mmu.Unlock()
+		return nil
 	}}
 	if err := cl.RunCtx(c.ctx(), []device.Job{job}); err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -18,7 +19,8 @@ import (
 // carries them in AuxLines so the Fig. 7 bench can show stitch errors
 // reappearing there. FineIters is used as the healing budget per
 // window (healing is a partial re-optimisation, not a full solve).
-func StitchAndHeal(cfg Config, target *grid.Mat) (*Result, error) {
+func StitchAndHeal(cfg Config, target *grid.Mat) (res *Result, err error) {
+	defer recoverInjected(&err)
 	dc, err := DivideAndConquer(cfg, target)
 	if err != nil {
 		return nil, err
@@ -45,7 +47,7 @@ func StitchAndHeal(cfg Config, target *grid.Mat) (*Result, error) {
 	}
 	tat := dc.TAT + cl.Stats().SimElapsed - simStart
 
-	res := c.evaluate("stitch-and-heal", m, target, lines, tat, cl)
+	res = c.evaluate("stitch-and-heal", m, target, lines, tat, cl)
 	res.AuxLines = aux
 	return res, nil
 }
@@ -70,7 +72,7 @@ func (c *Config) healLine(cl *device.Cluster, m, target *grid.Mat, line tile.Sti
 	out := m.Clone()
 	var mu sync.Mutex
 	var jobs []device.Job
-	params := opt.Params{Iters: c.FineIters, LR: c.LR, Stretch: 1, PVWeight: c.PVWeight, Ctx: c.ctx()}
+	params := opt.Params{Iters: c.FineIters, LR: c.LR, Stretch: 1, PVWeight: c.PVWeight}
 	solver := c.solver()
 	for along := 0; along+t <= size; along += t {
 		var y0, x0 int
@@ -83,8 +85,10 @@ func (c *Config) healLine(cl *device.Cluster, m, target *grid.Mat, line tile.Sti
 		tgt := target.Crop(y0, x0, t, t)
 		jobs = append(jobs, device.Job{
 			Pixels: t * t,
-			Work: func(int) error {
-				u, err := solver.Solve(tgt, init, params)
+			Work: func(ctx context.Context, _ int) error {
+				p := params
+				p.Ctx = ctx
+				u, err := solver.Solve(tgt, init, p)
 				if err != nil {
 					return fmt.Errorf("core: heal window (%d,%d): %w", y0, x0, err)
 				}

@@ -19,7 +19,8 @@ import (
 // better solution but still switches discontinuously where the
 // winning tile changes — the reason [6] and this paper's weighted
 // Schwarz approach superseded it.
-func OverlapSelect(cfg Config, target *grid.Mat) (*Result, error) {
+func OverlapSelect(cfg Config, target *grid.Mat) (res *Result, err error) {
+	defer recoverInjected(&err)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}

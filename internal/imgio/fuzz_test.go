@@ -1,0 +1,110 @@
+package imgio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mgsilt/internal/grid"
+)
+
+func TestReadPGMRoundTrip(t *testing.T) {
+	m := grid.NewMat(5, 7)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			m.Set(y, x, float64((y*m.W+x)%256)/255)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.AlmostEqual(m, 1.0/255/2) {
+		t.Fatal("PGM round trip lost more than quantisation error")
+	}
+}
+
+func TestReadPGMHeaderVariants(t *testing.T) {
+	// Comments, tabs and multi-space separators are all legal.
+	raw := "P5 # magic\n# a comment line\n 2\t2 # dims\n255\n\x00\x7f\x80\xff"
+	m, err := ReadPGM(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.H != 2 || m.W != 2 || m.At(0, 0) != 0 || m.At(1, 1) != 1 {
+		t.Fatalf("parsed %dx%d %+v", m.H, m.W, m.Data)
+	}
+
+	// Non-255 maxval rescales.
+	m, err = ReadPGM(strings.NewReader("P5\n1 1\n4\n\x02"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 0.5 {
+		t.Fatalf("maxval scaling: got %g, want 0.5", m.At(0, 0))
+	}
+}
+
+func TestReadPGMRejectsHostileInput(t *testing.T) {
+	bad := []string{
+		"",
+		"P6\n1 1\n255\n\x00",                  // wrong magic
+		"P5\n0 1\n255\n",                      // zero dim
+		"P5\n-3 1\n255\n",                     // negative dim
+		"P5\n999999999 999999999\n255\n",      // dims beyond cap: must fail before allocating
+		"P5\n2 2\n0\n\x00\x00\x00\x00",        // maxval 0
+		"P5\n2 2\n70000\n\x00\x00\x00\x00",    // maxval beyond 255 (16-bit unsupported)
+		"P5\n2 2\n255\n\x00",                  // truncated raster
+		"P5\n" + strings.Repeat("1", 64),      // absurd token
+		"P5\n# only comments forever\n# more", // header never completes
+	}
+	for _, s := range bad {
+		if _, err := ReadPGM(strings.NewReader(s)); err == nil {
+			t.Errorf("ReadPGM accepted %q", s)
+		}
+	}
+}
+
+// FuzzReadPGM attacks the PGM decoder: no input may panic it or make
+// it allocate outside the declared caps, and anything it accepts must
+// re-encode and re-parse to the same image.
+func FuzzReadPGM(f *testing.F) {
+	m := grid.NewMat(3, 4)
+	m.Set(1, 2, 0.5)
+	var buf bytes.Buffer
+	_ = WritePGM(&buf, m)
+	f.Add(buf.Bytes())
+	f.Add([]byte("P5 # c\n2\t2\n255\n\x00\x01\x02\x03"))
+	f.Add([]byte("P5\n1 1\n4\n\x05"))
+	f.Add([]byte("P5\n4097 1\n255\n"))
+	f.Add([]byte("P2\n1 1\n255\n0"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadPGM(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if m.H < 1 || m.H > MaxPGMDim || m.W < 1 || m.W > MaxPGMDim {
+			t.Fatalf("accepted image outside caps: %dx%d", m.H, m.W)
+		}
+		for _, v := range m.Data {
+			if v < 0 || v > 1 {
+				t.Fatalf("pixel %g outside [0,1]", v)
+			}
+		}
+		var out bytes.Buffer
+		if err := WritePGM(&out, m); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		m2, err := ReadPGM(&out)
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if m2.H != m.H || m2.W != m.W || !m2.AlmostEqual(m, 1.0/255) {
+			t.Fatal("write/read round trip diverged")
+		}
+	})
+}

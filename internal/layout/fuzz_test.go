@@ -1,0 +1,70 @@
+package layout
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadRectsRejectsOversizedClip(t *testing.T) {
+	// The header alone must be enough to refuse: rasterising size²
+	// pixels for a hostile SIZE would be an OOM vector.
+	hostile := "CLIP x SEED 1 SIZE 999999999 999999999\nEND\n"
+	if _, err := ReadRects(strings.NewReader(hostile)); err == nil {
+		t.Fatal("oversized clip accepted")
+	}
+	atCap := "CLIP x SEED 1 SIZE 4096 4096\nEND\n"
+	if _, err := ReadRects(strings.NewReader(atCap)); err != nil {
+		t.Fatalf("clip at the cap rejected: %v", err)
+	}
+	overCap := "CLIP x SEED 1 SIZE 4097 4097\nEND\n"
+	if _, err := ReadRects(strings.NewReader(overCap)); err == nil {
+		t.Fatal("clip just over the cap accepted")
+	}
+}
+
+// FuzzParseLayout attacks the .rects geometry parser: no input may
+// panic it or trick it into rasterising beyond MaxRectsSize, and any
+// accepted clip must survive a write/read round trip unchanged.
+func FuzzParseLayout(f *testing.F) {
+	clip, err := Generate(DefaultConfig(64, 3))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteRects(&buf, clip); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("CLIP c SEED 1 SIZE 8 8\nRECT 0 0 4 4\nEND\n"))
+	f.Add([]byte("CLIP c SEED 1 SIZE 8 8\nRECT 0 0 9 9\nEND\n"))
+	f.Add([]byte("CLIP c SEED 1 SIZE 999999999 999999999\nEND\n"))
+	f.Add([]byte("CLIP c SEED 1 SIZE 8 8\n"))
+	f.Add([]byte("garbage\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ReadRects(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		size := c.Target.H
+		if size < 1 || size > MaxRectsSize || c.Target.W != size {
+			t.Fatalf("accepted clip with size %dx%d", c.Target.H, c.Target.W)
+		}
+		for _, r := range c.Rects {
+			if r.Y0 < 0 || r.X0 < 0 || r.Y1 > size || r.X1 > size || r.Y0 >= r.Y1 || r.X0 >= r.X1 {
+				t.Fatalf("accepted out-of-bounds rect %+v for size %d", r, size)
+			}
+		}
+		var out bytes.Buffer
+		if err := WriteRects(&out, c); err != nil {
+			t.Fatalf("re-serialise: %v", err)
+		}
+		c2, err := ReadRects(&out)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if !c2.Target.Equal(c.Target) {
+			t.Fatal("round trip changed the rasterised target")
+		}
+	})
+}

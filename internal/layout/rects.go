@@ -30,6 +30,14 @@ func WriteRects(w io.Writer, c *Clip) error {
 	return bw.Flush()
 }
 
+// MaxRectsSize bounds the clip size accepted from an uploaded .rects
+// stream at the paper's 4096-per-clip scale. Rasterisation allocates
+// size² float64s, so without the cap a one-line header
+// ("SIZE 999999999 999999999") is an out-of-memory vector, and the
+// worst in-cap allocation (4096² float64 = 128 MiB) stays survivable
+// for the fuzz harness.
+const MaxRectsSize = 1 << 12
+
 // ReadRects parses the WriteRects format and re-rasterises the clip.
 func ReadRects(r io.Reader) (*Clip, error) {
 	sc := bufio.NewScanner(r)
@@ -45,6 +53,9 @@ func ReadRects(r io.Reader) (*Clip, error) {
 	}
 	if h <= 0 || w <= 0 || h != w {
 		return nil, fmt.Errorf("layout: bad clip size %dx%d", h, w)
+	}
+	if h > MaxRectsSize {
+		return nil, fmt.Errorf("layout: clip size %d exceeds the %d cap", h, MaxRectsSize)
 	}
 	ended := false
 	for sc.Scan() {

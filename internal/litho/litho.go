@@ -21,7 +21,9 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
+	"mgsilt/internal/fault"
 	"mgsilt/internal/fft"
 	"mgsilt/internal/grid"
 	"mgsilt/internal/kernels"
@@ -233,7 +235,33 @@ func (s *Simulator) workersFor(k int) int {
 	return w
 }
 
+// aerialCalls sequences aerial evaluations for the litho.aerial fault
+// site. The key is a call-sequence number, so under a process-global
+// injector this site is deterministic for serial runs but only
+// statistically reproducible for concurrent ones (evaluation order
+// depends on scheduling); schedule-exact chaos tests should inject at
+// the device sites instead.
+var aerialCalls atomic.Int64
+
+// injectAerial is the litho.aerial chaos site, shared by every entry
+// point that evaluates the Hopkins sum (plain aerial images and the
+// LossGrad solver path). The litho API is pure (no error returns), so
+// an injected failure is thrown as a fault.Panic; callers running
+// inside a device job have it recovered and retried at the job
+// boundary, and the core flows convert panics escaping their own
+// metric evaluations into ordinary errors. Injected latency is
+// meaningless here (there is no timeline to charge) and ignored.
+func injectAerial() {
+	if !fault.Enabled() {
+		return
+	}
+	if f := fault.At(fault.SiteLithoAerial, fault.Key{Unit: aerialCalls.Add(1)}); f.Err != nil {
+		panic(fault.Panic{Err: f.Err})
+	}
+}
+
 func (s *Simulator) aerial(mask *grid.Mat, pixelStretch int, focus Focus) *grid.Mat {
+	injectAerial()
 	p := s.preparedFor(focus, mask.H, s.kernelStretch(mask.H, pixelStretch))
 	fm := grid.GetCMat(mask.H, mask.W).FromReal(mask)
 	fft.Forward2D(fm)
@@ -339,6 +367,7 @@ func (s *Simulator) LossGrad(mask, target *grid.Mat, opts LossOpts) (float64, *g
 	if !mask.SameShape(target) {
 		panic(fmt.Sprintf("litho: mask %dx%d vs target %dx%d", mask.H, mask.W, target.H, target.W))
 	}
+	injectAerial()
 	stretch := opts.Stretch
 	if stretch < 1 {
 		panic("litho: LossOpts.Stretch must be >= 1")

@@ -96,6 +96,37 @@ func SetWorkers(n int) int {
 	return width
 }
 
+// panicBox forwards the first panic raised on a helper goroutine to
+// the calling goroutine. Without it a panic inside fn — notably an
+// injected fault.Panic thrown by the litho.aerial chaos site while a
+// kernel loop is fanned out — would crash the process from a goroutine
+// nobody can recover on. The helper records the value, releases its
+// token as usual, and the caller rethrows after the join, where the
+// device job boundary (or any other recover) can classify it.
+type panicBox struct {
+	once sync.Once
+	val  any
+	set  atomic.Bool
+}
+
+// capture is deferred on helper goroutines.
+func (p *panicBox) capture() {
+	if r := recover(); r != nil {
+		p.once.Do(func() {
+			p.val = r
+			p.set.Store(true)
+		})
+	}
+}
+
+// rethrow re-raises a captured panic on the caller. Must be called
+// after the helpers are joined.
+func (p *panicBox) rethrow() {
+	if p.set.Load() {
+		panic(p.val)
+	}
+}
+
 // acquire grabs up to max helper tokens without blocking and returns
 // the number granted plus the channel they must be released into.
 func acquire(max int) (int, chan struct{}) {
@@ -155,17 +186,20 @@ func Do(n, limit int, fn func(i int)) {
 			fn(i)
 		}
 	}
+	var pb panicBox
 	var wg sync.WaitGroup
 	for h := 0; h < helpers; h++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			defer func() { ch <- struct{}{} }()
+			defer pb.capture()
 			run()
 		}()
 	}
 	run()
 	wg.Wait()
+	pb.rethrow()
 }
 
 // DoChunks splits [0, n) into one contiguous chunk per participating
@@ -196,6 +230,7 @@ func DoChunks(n, limit int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
+	var pb panicBox
 	var wg sync.WaitGroup
 	for p := 1; p < parts; p++ {
 		lo, hi := chunkBounds(n, parts, p)
@@ -203,12 +238,14 @@ func DoChunks(n, limit int, fn func(lo, hi int)) {
 		go func() {
 			defer wg.Done()
 			defer func() { ch <- struct{}{} }()
+			defer pb.capture()
 			fn(lo, hi)
 		}()
 	}
 	lo, hi := chunkBounds(n, parts, 0)
 	fn(lo, hi)
 	wg.Wait()
+	pb.rethrow()
 }
 
 // chunkBounds returns the half-open range of chunk p of parts over

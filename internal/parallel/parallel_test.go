@@ -217,3 +217,63 @@ func TestChunkBounds(t *testing.T) {
 		}
 	}
 }
+
+func TestDoForwardsHelperPanic(t *testing.T) {
+	withWorkers(t, 4, func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("helper panic was swallowed")
+			}
+			if s, ok := r.(string); !ok || s != "injected" {
+				t.Fatalf("forwarded panic %v, want \"injected\"", r)
+			}
+		}()
+		var onCaller atomic.Bool
+		caller := goid()
+		Do(64, 4, func(i int) {
+			if goid() == caller {
+				onCaller.Store(true)
+				time.Sleep(time.Millisecond) // let a helper pick indices up
+				return
+			}
+			panic("injected")
+		})
+	})
+}
+
+func TestDoChunksForwardsHelperPanic(t *testing.T) {
+	withWorkers(t, 4, func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("helper panic was swallowed")
+			}
+		}()
+		caller := goid()
+		DoChunks(64, 4, func(lo, hi int) {
+			if goid() != caller {
+				panic("injected")
+			}
+		})
+	})
+}
+
+func TestDoCallerPanicPropagates(t *testing.T) {
+	withWorkers(t, 1, func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("caller panic must propagate")
+			}
+		}()
+		Do(4, 1, func(int) { panic("caller") })
+	})
+}
+
+// goid distinguishes the calling goroutine from pool helpers in tests.
+// (A per-test atomic flag set before Do would race with helper startup;
+// comparing goroutine identity is exact.)
+func goid() string {
+	buf := make([]byte, 64)
+	n := runtime.Stack(buf, false)
+	return string(buf[:n:n][:16])
+}

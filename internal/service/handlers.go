@@ -24,6 +24,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/mask.pgm", s.handleMask)
+	mux.HandleFunc("POST /v1/jobs/{id}/resume", s.handleResume)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -49,7 +50,7 @@ func writeErr(w http.ResponseWriter, err error) {
 		code = http.StatusNotFound
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
 		code = http.StatusServiceUnavailable
-	case errors.Is(err, ErrNotDone), errors.Is(err, ErrTerminal):
+	case errors.Is(err, ErrNotDone), errors.Is(err, ErrTerminal), errors.Is(err, ErrNotResumable):
 		code = http.StatusConflict
 	default:
 		code = http.StatusBadRequest
@@ -151,6 +152,15 @@ func (s *Server) handleMask(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "image/x-portable-graymap")
 	w.WriteHeader(http.StatusOK)
 	_ = imgio.WritePGM(w, res.Mask.Binarize(0.5)) // client went away
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Resume(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -36,6 +36,7 @@ func (h *histogram) observe(sec float64) {
 type registry struct {
 	mu        sync.Mutex
 	nSubmit   uint64
+	nResumed  uint64
 	nFinished map[State]uint64
 	stages    map[string]*histogram
 }
@@ -50,6 +51,12 @@ func newRegistry() *registry {
 func (r *registry) submitted() {
 	r.mu.Lock()
 	r.nSubmit++
+	r.mu.Unlock()
+}
+
+func (r *registry) resumed() {
+	r.mu.Lock()
+	r.nResumed++
 	r.mu.Unlock()
 }
 
@@ -78,6 +85,10 @@ func (r *registry) write(w io.Writer, snap snapshot) {
 	fmt.Fprintf(w, "# TYPE ilt_jobs_submitted_total counter\n")
 	r.mu.Lock()
 	fmt.Fprintf(w, "ilt_jobs_submitted_total %d\n", r.nSubmit)
+
+	fmt.Fprintf(w, "# HELP ilt_jobs_resumed_total Failed or cancelled jobs re-enqueued via resume.\n")
+	fmt.Fprintf(w, "# TYPE ilt_jobs_resumed_total counter\n")
+	fmt.Fprintf(w, "ilt_jobs_resumed_total %d\n", r.nResumed)
 
 	fmt.Fprintf(w, "# HELP ilt_jobs_finished_total Jobs reaching a terminal state.\n")
 	fmt.Fprintf(w, "# TYPE ilt_jobs_finished_total counter\n")
@@ -134,6 +145,12 @@ func (r *registry) write(w io.Writer, snap snapshot) {
 	fmt.Fprintf(w, "# HELP ilt_device_sim_elapsed_seconds_total Cumulative virtual-clock makespan.\n")
 	fmt.Fprintf(w, "# TYPE ilt_device_sim_elapsed_seconds_total counter\n")
 	fmt.Fprintf(w, "ilt_device_sim_elapsed_seconds_total %g\n", snap.device.SimElapsed.Seconds())
+	fmt.Fprintf(w, "# HELP ilt_device_retries_total Tile-job attempts re-dispatched by the fault retry policy.\n")
+	fmt.Fprintf(w, "# TYPE ilt_device_retries_total counter\n")
+	fmt.Fprintf(w, "ilt_device_retries_total %d\n", snap.device.Retries)
+	fmt.Fprintf(w, "# HELP ilt_devices_quarantined Devices currently quarantined by hard faults.\n")
+	fmt.Fprintf(w, "# TYPE ilt_devices_quarantined gauge\n")
+	fmt.Fprintf(w, "ilt_devices_quarantined %d\n", snap.device.Quarantined)
 }
 
 // trimFloat renders a bucket bound the way Prometheus expects

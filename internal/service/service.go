@@ -38,6 +38,7 @@ import (
 
 	"mgsilt/internal/core"
 	"mgsilt/internal/device"
+	"mgsilt/internal/fault"
 	"mgsilt/internal/grid"
 	"mgsilt/internal/kernels"
 	"mgsilt/internal/layout"
@@ -111,28 +112,42 @@ type Progress struct {
 
 // Status is the externally visible job record.
 type Status struct {
-	ID         string     `json:"id"`
-	Flow       string     `json:"flow"`
-	State      State      `json:"state"`
-	Progress   Progress   `json:"progress"`
-	Error      string     `json:"error,omitempty"`
-	CreatedAt  time.Time  `json:"created_at"`
-	StartedAt  *time.Time `json:"started_at,omitempty"`
-	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	ID       string   `json:"id"`
+	Flow     string   `json:"flow"`
+	State    State    `json:"state"`
+	Progress Progress `json:"progress"`
+	Error    string   `json:"error,omitempty"`
+	// Attempts counts how many times the job has entered the running
+	// state (1 for a job that never needed a resume).
+	Attempts int `json:"attempts"`
+	// ResumedFrom, on a job re-enqueued via Resume, is the checkpoint
+	// stage the current/next attempt starts after (nil when the job
+	// restarted from scratch or was never resumed).
+	ResumedFrom *int `json:"resumed_from,omitempty"`
+	// CheckpointStage is the latest stage the flow has checkpointed
+	// (0 until the first stage completes); a Resume would restart
+	// after this stage.
+	CheckpointStage int        `json:"checkpoint_stage"`
+	CreatedAt       time.Time  `json:"created_at"`
+	StartedAt       *time.Time `json:"started_at,omitempty"`
+	FinishedAt      *time.Time `json:"finished_at,omitempty"`
 }
 
 // job is the internal record; mutable fields are guarded by Server.mu.
 type job struct {
-	id       string
-	spec     JobSpec
-	state    State
-	progress Progress
-	err      string
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	cancel   context.CancelFunc
-	result   *core.Result
+	id          string
+	spec        JobSpec
+	state       State
+	progress    Progress
+	err         string
+	created     time.Time
+	started     time.Time
+	finished    time.Time
+	cancel      context.CancelFunc
+	result      *core.Result
+	attempts    int
+	resumedFrom *int
+	checkpoint  *core.Checkpoint // latest stage snapshot (mgs/dc flows)
 }
 
 func (j *job) status() Status {
@@ -142,7 +157,15 @@ func (j *job) status() Status {
 		State:     j.state,
 		Progress:  j.progress,
 		Error:     j.err,
+		Attempts:  j.attempts,
 		CreatedAt: j.created,
+	}
+	if j.resumedFrom != nil {
+		v := *j.resumedFrom
+		st.ResumedFrom = &v
+	}
+	if j.checkpoint != nil {
+		st.CheckpointStage = j.checkpoint.Stage
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -181,6 +204,17 @@ type Options struct {
 	// env or GOMAXPROCS). This is distinct from Workers, which is the
 	// number of concurrently running jobs.
 	ComputeWorkers int
+
+	// FaultRate, when positive, installs a deterministic chaos
+	// injector on every worker cluster: each tile-job attempt fails
+	// transiently at the device.run site with this probability, and the
+	// cluster retries it under the default fault.Retry policy. The
+	// schedule is a pure function of (FaultSeed, site, key), so a chaos
+	// run is reproducible from its seed. 0 (the default) disables
+	// injection.
+	FaultRate float64
+	// FaultSeed seeds the chaos injector (used only when FaultRate > 0).
+	FaultSeed int64
 }
 
 func (o Options) withDefaults() Options {
@@ -237,10 +271,18 @@ func New(opts Options) (*Server, error) {
 		sims:    make(map[int]*litho.Simulator),
 		metrics: newRegistry(),
 	}
+	if opts.FaultRate < 0 || opts.FaultRate > 1 {
+		return nil, fmt.Errorf("service: fault rate %g out of [0, 1]", opts.FaultRate)
+	}
 	for i := 0; i < opts.Workers; i++ {
 		cl, err := device.NewCluster(opts.DevicesPerWorker, 0)
 		if err != nil {
 			return nil, err
+		}
+		if opts.FaultRate > 0 {
+			cl.Injector = fault.NewSeeded(opts.FaultSeed).
+				Site(fault.SiteDeviceRun, fault.Rates{Transient: opts.FaultRate})
+			cl.Retry = &fault.Retry{}
 		}
 		s.clusters = append(s.clusters, cl)
 		s.wg.Add(1)
@@ -323,12 +365,50 @@ func (s *Server) Submit(spec JobSpec) (Status, error) {
 
 // Service errors mapped to HTTP status codes by the handlers.
 var (
-	ErrDraining  = errors.New("service: shutting down, not accepting jobs")
-	ErrQueueFull = errors.New("service: job queue full")
-	ErrNotFound  = errors.New("service: no such job")
-	ErrNotDone   = errors.New("service: job has no result yet")
-	ErrTerminal  = errors.New("service: job already finished")
+	ErrDraining     = errors.New("service: shutting down, not accepting jobs")
+	ErrQueueFull    = errors.New("service: job queue full")
+	ErrNotFound     = errors.New("service: no such job")
+	ErrNotDone      = errors.New("service: job has no result yet")
+	ErrTerminal     = errors.New("service: job already finished")
+	ErrNotResumable = errors.New("service: only failed or cancelled jobs can be resumed")
 )
+
+// Resume re-enqueues a failed or cancelled job. If the job's flow
+// checkpointed (mgs/dc emit a snapshot after every completed stage),
+// the next attempt restarts after the last completed stage instead of
+// from scratch, and the status reports resumed_from; otherwise it
+// simply reruns. Attempt and progress history is preserved.
+func (s *Server) Resume(id string) (Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	if s.closed {
+		return j.status(), ErrDraining
+	}
+	if j.state != StateFailed && j.state != StateCancelled {
+		return j.status(), ErrNotResumable
+	}
+	select {
+	case s.queue <- j:
+	default:
+		return j.status(), ErrQueueFull
+	}
+	// The worker cannot observe j before we release s.mu, so the
+	// mutation below is ordered before its runJob.
+	j.state = StateQueued
+	j.err = ""
+	j.finished = time.Time{}
+	j.resumedFrom = nil
+	if j.checkpoint != nil {
+		v := j.checkpoint.Stage
+		j.resumedFrom = &v
+	}
+	s.metrics.resumed()
+	return j.status(), nil
+}
 
 // Status returns a job's status snapshot.
 func (s *Server) Status(id string) (Status, error) {
@@ -465,9 +545,15 @@ func (s *Server) runJob(j *job, cl *device.Cluster) {
 	j.state = StateRunning
 	j.started = time.Now()
 	j.cancel = cancel
+	j.attempts++
 	spec := j.spec
+	resume := j.checkpoint
 	s.mu.Unlock()
 	defer cancel()
+
+	// Each attempt gets a fresh hardware lease: devices quarantined by
+	// a previous job's hard faults return to the pool.
+	cl.Revive()
 
 	// Stage latency accounting: each progress event closes the
 	// preceding stage's interval.
@@ -487,7 +573,17 @@ func (s *Server) runJob(j *job, cl *device.Cluster) {
 		s.mu.Unlock()
 	}
 
-	res, err := s.execute(ctx, spec, cl, progress)
+	// Stage checkpoints are stored as they are emitted, so a job killed
+	// after stage k can Resume from stage k even though this attempt
+	// never finished.
+	onCheckpoint := func(ck core.Checkpoint) {
+		s.mu.Lock()
+		c := ck
+		j.checkpoint = &c
+		s.mu.Unlock()
+	}
+
+	res, err := s.execute(ctx, spec, cl, progress, resume, onCheckpoint)
 	now := time.Now()
 	if lastStage != "" {
 		s.metrics.observeStage(lastStage, now.Sub(lastAt))
@@ -513,7 +609,7 @@ func (s *Server) runJob(j *job, cl *device.Cluster) {
 
 // execute builds the environment (simulator, clip, config) and runs
 // the selected flow under ctx.
-func (s *Server) execute(ctx context.Context, spec JobSpec, cl *device.Cluster, progress func(string, int, int)) (*core.Result, error) {
+func (s *Server) execute(ctx context.Context, spec JobSpec, cl *device.Cluster, progress func(string, int, int), resume *core.Checkpoint, onCheckpoint func(core.Checkpoint)) (*core.Result, error) {
 	sim, err := s.simulator(spec.N)
 	if err != nil {
 		return nil, err
@@ -526,6 +622,13 @@ func (s *Server) execute(ctx context.Context, spec JobSpec, cl *device.Cluster, 
 	cfg.Cluster = cl
 	cfg.Ctx = ctx
 	cfg.Progress = progress
+	// Checkpoint/resume is wired only for the flows that stage it
+	// (mgs, dc); heal runs dc internally and must not inherit a stale
+	// snapshot.
+	if spec.Flow == "mgs" || spec.Flow == "dc" {
+		cfg.Checkpoint = onCheckpoint
+		cfg.Resume = resume
+	}
 	switch spec.Solver {
 	case "levelset":
 		cfg.Solver = opt.NewLevelSet(sim)
@@ -653,6 +756,8 @@ func (s *Server) snapshot() snapshot {
 		snap.device.TotalBusy += st.TotalBusy
 		snap.device.Transfer += st.Transfer
 		snap.device.SimElapsed += st.SimElapsed
+		snap.device.Retries += st.Retries
+		snap.device.Quarantined += st.Quarantined
 	}
 	return snap
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -407,6 +408,185 @@ func TestMetricsAndHealth(t *testing.T) {
 	}
 	if hresp.StatusCode != http.StatusOK || hp.Status != "ok" || hp.Workers != 2 {
 		t.Fatalf("healthz %d %+v", hresp.StatusCode, hp)
+	}
+}
+
+func fetchMask(t *testing.T, ts *httptest.Server, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/mask.pgm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mask %s: %d", id, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func postResume(t *testing.T, ts *httptest.Server, id string) (int, Status) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs/"+id+"/resume", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, st
+}
+
+// TestResumeFromCheckpoint is the tentpole's end-to-end acceptance
+// path: kill a multigrid-Schwarz job after it has checkpointed stage
+// k, resume it, and require (a) the second attempt to restart from
+// stage >= k rather than from scratch and (b) the resumed result to be
+// bit-identical to an uninterrupted run of the same spec.
+func TestResumeFromCheckpoint(t *testing.T) {
+	_, ts := newTestServer(t, testOpts())
+
+	// A budget large enough that the flow is still mid-run for seconds
+	// after its first coarse-stage checkpoint lands.
+	spec := JobSpec{Flow: "mgs", N: 32, Iters: 1000, Seed: 3}
+	sr := postJob(t, ts, spec)
+
+	// Wait for the first completed stage to checkpoint, then kill the
+	// job while later stages are still running.
+	waitFor(t, ts, sr.Job.ID, 60*time.Second, func(st Status) bool {
+		if st.State.Terminal() {
+			t.Fatalf("job finished (%s) before it could be interrupted; raise Iters", st.State)
+		}
+		return st.CheckpointStage >= 1
+	})
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+sr.Job.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	st := waitFor(t, ts, sr.Job.ID, 30*time.Second, func(st Status) bool { return st.State.Terminal() })
+	if st.State != StateCancelled {
+		t.Fatalf("state %s, want cancelled", st.State)
+	}
+	if st.CheckpointStage < 1 {
+		t.Fatalf("cancelled job lost its checkpoint: %+v", st)
+	}
+
+	// Resume: 202, queued, and the resume point is the checkpoint.
+	code, rst := postResume(t, ts, sr.Job.ID)
+	if code != http.StatusAccepted {
+		t.Fatalf("resume: %d", code)
+	}
+	if rst.ResumedFrom == nil || *rst.ResumedFrom < 1 {
+		t.Fatalf("resume did not record a resume point: %+v", rst)
+	}
+	if *rst.ResumedFrom != rst.CheckpointStage {
+		t.Fatalf("resumed_from %d != checkpoint_stage %d", *rst.ResumedFrom, rst.CheckpointStage)
+	}
+
+	st = waitFor(t, ts, sr.Job.ID, 300*time.Second, func(st Status) bool { return st.State.Terminal() })
+	if st.State != StateDone {
+		t.Fatalf("resumed job %s (%s)", st.State, st.Error)
+	}
+	if st.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (original + resume)", st.Attempts)
+	}
+	if st.ResumedFrom == nil || *st.ResumedFrom < 1 {
+		t.Fatalf("finished job lost resumed_from: %+v", st)
+	}
+
+	// The resumed mask must match an uninterrupted run bit for bit.
+	ref := postJob(t, ts, spec)
+	waitFor(t, ts, ref.Job.ID, 300*time.Second, func(st Status) bool { return st.State == StateDone })
+	if !bytes.Equal(fetchMask(t, ts, sr.Job.ID), fetchMask(t, ts, ref.Job.ID)) {
+		t.Fatal("resumed mask differs from uninterrupted run")
+	}
+
+	// Resume accounting reaches /metrics.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mb, _ := io.ReadAll(mresp.Body)
+	if !strings.Contains(string(mb), "ilt_jobs_resumed_total 1") {
+		t.Fatalf("metrics missing resume counter:\n%s", mb)
+	}
+
+	// A done job is not resumable.
+	if code, _ := postResume(t, ts, sr.Job.ID); code != http.StatusConflict {
+		t.Fatalf("resume of done job: %d, want 409", code)
+	}
+}
+
+// TestChaosJobMatchesCleanRun runs the same job on a fault-free server
+// and on a server with seeded transient faults at device.run. The
+// chaos run must retry its way to a bit-identical mask and surface
+// non-zero retry counters in /metrics.
+func TestChaosJobMatchesCleanRun(t *testing.T) {
+	spec := JobSpec{Flow: "mgs", N: 32, Iters: 4, Seed: 5}
+
+	_, clean := newTestServer(t, testOpts())
+	cj := postJob(t, clean, spec)
+	waitFor(t, clean, cj.Job.ID, 120*time.Second, func(st Status) bool { return st.State == StateDone })
+
+	opts := testOpts()
+	opts.FaultRate = 0.2
+	opts.FaultSeed = 11
+	_, chaos := newTestServer(t, opts)
+	xj := postJob(t, chaos, spec)
+	st := waitFor(t, chaos, xj.Job.ID, 120*time.Second, func(st Status) bool { return st.State.Terminal() })
+	if st.State != StateDone {
+		t.Fatalf("chaos job %s (%s)", st.State, st.Error)
+	}
+
+	if !bytes.Equal(fetchMask(t, clean, cj.Job.ID), fetchMask(t, chaos, xj.Job.ID)) {
+		t.Fatal("chaos mask differs from fault-free run: retries changed the result")
+	}
+
+	resp, err := http.Get(chaos.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		"ilt_device_retries_total",
+		"ilt_devices_quarantined 0", // transient-only chaos must not quarantine
+		"ilt_jobs_resumed_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("chaos metrics missing %q in:\n%s", want, text)
+		}
+	}
+	retries := 0
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "ilt_device_retries_total ") {
+			if _, err := fmt.Sscanf(line, "ilt_device_retries_total %d", &retries); err != nil {
+				t.Fatalf("unparseable retry counter %q: %v", line, err)
+			}
+		}
+	}
+	if retries == 0 {
+		t.Fatal("fault rate 0.2 produced zero retries — injector not wired to the job path")
+	}
+}
+
+func TestBadFaultRateRejected(t *testing.T) {
+	for _, rate := range []float64{-0.1, 1.5} {
+		opts := testOpts()
+		opts.FaultRate = rate
+		if _, err := New(opts); err == nil {
+			t.Fatalf("fault rate %g accepted", rate)
+		}
 	}
 }
 

@@ -1,0 +1,200 @@
+package tile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mgsilt/internal/grid"
+)
+
+// geometries exercised by every metamorphic property below: the
+// paper-style overlapping partitions plus the degenerate margin-0
+// (disjoint) case.
+var metaGeoms = []struct {
+	name             string
+	h, w, tile, marg int
+}{
+	{"128x128-t64-m16", 128, 128, 64, 16},
+	{"64x64-t32-m8", 64, 64, 32, 8},
+	{"96x64-t32-m8", 96, 64, 32, 8},
+	{"64x64-t32-m0", 64, 64, 32, 0},
+	{"64x64-t16-m4", 64, 64, 16, 4},
+}
+
+// TestWeightsPartitionOfUnity checks Eq. 12-14's load-bearing
+// invariant directly: for every legal blend width the per-tile weight
+// maps must sum to exactly 1 at every layout pixel.
+func TestMetamorphicWeightsSumToOne(t *testing.T) {
+	for _, g := range metaGeoms {
+		p := MustPart(g.h, g.w, g.tile, g.marg)
+		for d := 0; d <= 2*g.marg; d += 2 {
+			ws, err := p.Weights(d)
+			if err != nil {
+				t.Fatalf("%s d=%d: %v", g.name, d, err)
+			}
+			sum := grid.NewMat(g.h, g.w)
+			for i, w := range ws {
+				sp := p.Tiles[i]
+				for ty := 0; ty < w.H; ty++ {
+					srow := sum.Row(sp.Y0 + ty)
+					wrow := w.Row(ty)
+					for tx := 0; tx < w.W; tx++ {
+						srow[sp.X0+tx] += wrow[tx]
+					}
+				}
+			}
+			for y := 0; y < g.h; y++ {
+				for x := 0; x < g.w; x++ {
+					if s := sum.At(y, x); math.Abs(s-1) > 1e-12 {
+						t.Fatalf("%s d=%d: weights sum to %g at (%d,%d)", g.name, d, s, y, x)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWeightsRejectIllegal pins the domain of Weights: odd widths and
+// widths beyond the overlap are errors, not silent clamps.
+func TestMetamorphicWeightsRejectIllegal(t *testing.T) {
+	p := MustPart(64, 64, 32, 8)
+	for _, d := range []int{-2, 1, 3, 18, 100} {
+		if _, err := p.Weights(d); err == nil {
+			t.Errorf("Weights(%d) accepted", d)
+		}
+	}
+}
+
+// TestExtractAssembleIdentity is the core metamorphic property: for
+// ANY layout (constant or arbitrary), cutting it into overlapping
+// tiles and blending them back must reproduce the input bit-for-bit
+// up to float rounding — the partition of unity guarantees it.
+func TestExtractAssembleIdentity(t *testing.T) {
+	for _, g := range metaGeoms {
+		p := MustPart(g.h, g.w, g.tile, g.marg)
+		layouts := map[string]*grid.Mat{
+			"zero":     grid.NewMat(g.h, g.w),
+			"constant": constMat(g.h, g.w, 0.375),
+			"random":   randMat(g.h, g.w, 1),
+		}
+		for d := 0; d <= 2*g.marg; d += 2 {
+			ws, err := p.Weights(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, layout := range layouts {
+				got := p.Assemble(p.Extract(layout), ws)
+				if got.H != g.h || got.W != g.w {
+					t.Fatalf("%s %s d=%d: assembled %dx%d", g.name, name, d, got.H, got.W)
+				}
+				for i := range got.Data {
+					if math.Abs(got.Data[i]-layout.Data[i]) > 1e-12 {
+						t.Fatalf("%s %s d=%d: pixel %d diverged: got %g want %g",
+							g.name, name, d, i, got.Data[i], layout.Data[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTranslationEquivariance shifts a pattern by exactly one tile
+// step. The partition is step-periodic, so the assembled result must
+// be the shifted assembly of the original — interior stitching cannot
+// depend on absolute tile position.
+func TestTranslationEquivariance(t *testing.T) {
+	const h, w, tile, marg = 128, 128, 32, 8
+	step := tile - 2*marg
+	p := MustPart(h, w, tile, marg)
+	ws, err := p.Weights(2 * marg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A pattern confined to the interior so both it and its shift stay
+	// clear of the boundary tiles.
+	base := grid.NewMat(h, w)
+	for y := 40; y < 56; y++ {
+		for x := 40; x < 72; x++ {
+			base.Set(y, x, 1)
+		}
+	}
+	shifted := shiftMat(base, step, step)
+
+	outBase := p.Assemble(p.Extract(base), ws)
+	outShifted := p.Assemble(p.Extract(shifted), ws)
+	wantShifted := shiftMat(outBase, step, step)
+	for i := range outShifted.Data {
+		if math.Abs(outShifted.Data[i]-wantShifted.Data[i]) > 1e-12 {
+			t.Fatalf("pixel %d: shifted assembly %g, want %g",
+				i, outShifted.Data[i], wantShifted.Data[i])
+		}
+	}
+}
+
+// TestColorsNeverOverlap cross-checks the 2x2 coloring against the
+// geometric Overlap predicate: two tiles of the same color must never
+// share pixels (that is what makes per-color sweeps race-free).
+func TestColorsNeverOverlap(t *testing.T) {
+	for _, g := range metaGeoms {
+		p := MustPart(g.h, g.w, g.tile, g.marg)
+		classes := p.Colors()
+		seen := make(map[int]bool)
+		for _, class := range classes {
+			for _, i := range class {
+				if seen[i] {
+					t.Fatalf("%s: tile %d in two color classes", g.name, i)
+				}
+				seen[i] = true
+			}
+			for a := 0; a < len(class); a++ {
+				for b := a + 1; b < len(class); b++ {
+					if p.Overlap(class[a], class[b]) {
+						t.Fatalf("%s: same-color tiles %d and %d overlap",
+							g.name, class[a], class[b])
+					}
+				}
+			}
+		}
+		if len(seen) != len(p.Tiles) {
+			t.Fatalf("%s: coloring covers %d of %d tiles", g.name, len(seen), len(p.Tiles))
+		}
+	}
+}
+
+func constMat(h, w int, v float64) *grid.Mat {
+	m := grid.NewMat(h, w)
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+	return m
+}
+
+func randMat(h, w int, seed int64) *grid.Mat {
+	rng := rand.New(rand.NewSource(seed))
+	m := grid.NewMat(h, w)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()
+	}
+	return m
+}
+
+// shiftMat translates m by (dy,dx), zero-filling the vacated band.
+func shiftMat(m *grid.Mat, dy, dx int) *grid.Mat {
+	out := grid.NewMat(m.H, m.W)
+	for y := 0; y < m.H; y++ {
+		sy := y - dy
+		if sy < 0 || sy >= m.H {
+			continue
+		}
+		for x := 0; x < m.W; x++ {
+			sx := x - dx
+			if sx < 0 || sx >= m.W {
+				continue
+			}
+			out.Set(y, x, m.At(sy, sx))
+		}
+	}
+	return out
+}
