@@ -178,6 +178,19 @@ func BenchmarkAblation(b *testing.B) {
 	}
 }
 
+// BenchmarkHotPathAllocs reports the steady-state heap allocations per
+// serial LossGrad evaluation — the same measurement cmd/iltbench embeds
+// in the trajectory document (lossgrad_allocs_per_op) and benchdiff
+// gates. The frequency-domain engine's contract is 0: every spectrum,
+// field buffer and FFT scratch in the hot path comes from a size-keyed
+// pool once the pools are warm.
+func BenchmarkHotPathAllocs(b *testing.B) {
+	env := newEnv(b)
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(env.MeasureLossGradAllocs(), "lossgrad-allocs/op")
+	}
+}
+
 // BenchmarkMRCViolations quantifies the Section 2.3 manufacturability
 // claim: stitch discontinuities create mask-rule violations (necks,
 // notches, slivers) concentrated near tile boundaries. Ours should

@@ -26,6 +26,8 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -44,6 +46,8 @@ func main() {
 		verbose    = flag.Bool("v", false, "print per-run progress")
 		devices    = flag.Int("devices", 4, "maximum simulated devices for the speedup sweep")
 		workers    = flag.Int("workers", 0, "compute pool width for FFT/convolution fan-out (0 = ILT_WORKERS env or GOMAXPROCS)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU pprof profile of the experiment run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap pprof profile (taken after the run) to this file")
 	)
 	flag.Parse()
 	if *workers > 0 {
@@ -86,8 +90,24 @@ func main() {
 	}
 	if *jsonPath != "" {
 		// Calibrate before running experiments so the measurement is
-		// taken on an otherwise-quiet process.
+		// taken on an otherwise-quiet process, and record the hot-path
+		// allocation count while the heap is equally quiet. Both happen
+		// before CPU profiling starts so neither pollutes the profile.
 		doc.CalibNS = benchfmt.Calibrate()
+		allocs := env.MeasureLossGradAllocs()
+		doc.LossGradAllocs = &allocs
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	emit := func(name, title string, tab *report.Table, methods []benchfmt.Method) {
@@ -186,6 +206,21 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "iltbench: wrote %s\n", *jsonPath)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // materialise the retained heap before snapshotting
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "iltbench: wrote %s\n", *memProfile)
 	}
 }
 

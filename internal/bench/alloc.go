@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"runtime"
+
+	"mgsilt/internal/grid"
+	"mgsilt/internal/litho"
+	"mgsilt/internal/parallel"
+)
+
+// MeasureLossGradAllocs measures the steady-state heap allocations per
+// serial LossGrad evaluation on the environment's native-grid
+// simulator. It mirrors testing.AllocsPerRun: one OS thread, compute
+// pool pinned to one worker, warm-up iterations so every size-keyed
+// pool is populated, then a malloc-count delta averaged over repeats.
+// The engine's contract is 0 — cmd/iltbench records the measurement in
+// the trajectory document so cmd/benchdiff can gate regressions.
+func (e *Env) MeasureLossGradAllocs() float64 {
+	n := e.Scale.N
+	target := grid.NewMat(n, n)
+	for y := n / 4; y < 3*n/4; y++ {
+		row := target.Row(y)
+		for x := n / 4; x < 3*n/4; x++ {
+			row[x] = 1
+		}
+	}
+	mask := target.Clone().Scale(0.9)
+
+	prevWorkers := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prevWorkers)
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+
+	run := func() {
+		_, g := e.Sim.LossGrad(mask, target, litho.LossOpts{Stretch: 1})
+		grid.PutMat(g)
+	}
+	for i := 0; i < 3; i++ {
+		run() // warm the size-keyed pools
+	}
+
+	const repeats = 10
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < repeats; i++ {
+		run()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / repeats
+}

@@ -71,8 +71,16 @@ type Doc struct {
 	// CalibNS is the host calibration measurement (see Calibrate);
 	// 0 means the producer did not calibrate and only absolute TAT
 	// comparison is possible.
-	CalibNS     int64        `json:"calib_ns,omitempty"`
-	Experiments []Experiment `json:"experiments"`
+	CalibNS int64 `json:"calib_ns,omitempty"`
+	// LossGradAllocs is the steady-state heap allocations per serial
+	// LossGrad evaluation on the producing host (pools warm, workers
+	// pinned to 1). It is a pointer so the field is tri-state: nil means
+	// the producer predates the measurement (older documents stay
+	// valid), while a recorded 0 — the engine's target — survives
+	// marshalling. Unlike TAT it needs no host calibration: allocation
+	// counts are deterministic per code version.
+	LossGradAllocs *float64     `json:"lossgrad_allocs_per_op,omitempty"`
+	Experiments    []Experiment `json:"experiments"`
 }
 
 // WriteFile marshals the document with stable indentation.
@@ -111,6 +119,9 @@ func (d *Doc) Validate() error {
 			d.N, d.Clip, d.Cases, d.Iters, d.Workers)
 	case d.CalibNS < 0:
 		return fmt.Errorf("benchfmt: negative calibration %d ns", d.CalibNS)
+	}
+	if a := d.LossGradAllocs; a != nil && (math.IsNaN(*a) || math.IsInf(*a, 0) || *a < 0) {
+		return fmt.Errorf("benchfmt: invalid lossgrad_allocs_per_op %v", *a)
 	}
 	for i := range d.Experiments {
 		e := &d.Experiments[i]
@@ -284,6 +295,25 @@ func Compare(base, cur *Doc, opts CompareOptions) (*Result, error) {
 	}
 
 	res := &Result{}
+	// Allocation gate: compared only when both documents carry the
+	// measurement (the field is optional for older baselines). Counts
+	// are deterministic per code version, so the tolerance is a small
+	// absolute slack for pool warm-up jitter, not a relative threshold —
+	// a baseline of 0 must stay 0.
+	if base.LossGradAllocs != nil && cur.LossGradAllocs != nil {
+		res.Checked++
+		const allocSlack = 0.5
+		if *cur.LossGradAllocs > *base.LossGradAllocs+allocSlack {
+			rel := math.Inf(1)
+			if *base.LossGradAllocs > 0 {
+				rel = *cur.LossGradAllocs / *base.LossGradAllocs - 1
+			}
+			res.Regressions = append(res.Regressions, Finding{
+				Experiment: "hotpath", Method: "LossGrad", Metric: "allocs/op",
+				Base: *base.LossGradAllocs, Cur: *cur.LossGradAllocs, Rel: rel,
+			})
+		}
+	}
 	grew := func(baseV, curV, tol float64) (float64, bool) {
 		if curV <= baseV*(1+tol) {
 			return 0, false

@@ -187,6 +187,79 @@ func TestCompareMissingMethodErrors(t *testing.T) {
 	}
 }
 
+func allocsPtr(v float64) *float64 { return &v }
+
+// TestLossGradAllocsRoundTrip pins the tri-state semantics of the
+// optional allocation field: nil is omitted, an explicit 0 survives.
+func TestLossGradAllocsRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	d := sample()
+	d.LossGradAllocs = allocsPtr(0)
+	if err := d.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LossGradAllocs == nil || *got.LossGradAllocs != 0 {
+		t.Fatalf("explicit zero allocs lost in round trip: %v", got.LossGradAllocs)
+	}
+}
+
+func TestValidateRejectsBadAllocs(t *testing.T) {
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		d := sample()
+		d.LossGradAllocs = allocsPtr(bad)
+		if err := d.Validate(); err == nil {
+			t.Errorf("lossgrad_allocs_per_op=%v accepted", bad)
+		}
+	}
+}
+
+// TestCompareAllocsGate covers the allocation regression gate: absent
+// on either side → not compared; present on both → growth beyond the
+// absolute warm-up slack is a regression, and a 0 baseline must stay 0.
+func TestCompareAllocsGate(t *testing.T) {
+	// Baseline without the field (pre-measurement document): tolerated.
+	cur := sample()
+	cur.LossGradAllocs = allocsPtr(100)
+	res, err := Compare(sample(), cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("allocs against field-less baseline flagged: %v", res.Regressions)
+	}
+
+	// 0 -> 0 passes and counts as a performed check.
+	base := sample()
+	base.LossGradAllocs = allocsPtr(0)
+	cur = sample()
+	cur.LossGradAllocs = allocsPtr(0)
+	res, err = Compare(base, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() || res.Checked != 9 {
+		t.Fatalf("0->0 allocs: OK=%v checked=%d, want pass with 9 checks", res.OK(), res.Checked)
+	}
+
+	// 0 -> 2 is a regression even though the relative growth is infinite.
+	cur.LossGradAllocs = allocsPtr(2)
+	res, err = Compare(base, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("0 -> 2 allocs/op passed the gate")
+	}
+	f := res.Regressions[0]
+	if f.Metric != "allocs/op" || !math.IsInf(f.Rel, 1) {
+		t.Fatalf("unexpected finding %+v", f)
+	}
+}
+
 func TestCalibrate(t *testing.T) {
 	if testing.Short() {
 		t.Skip("calibration loop in -short mode")

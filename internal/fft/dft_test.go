@@ -1,0 +1,160 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// naiveDFT is the O(n²) textbook reference: X[k] = Σ_j x[j]·e^(∓2πi·jk/n).
+// Every fast kernel in this package — fused radix-4 stages, the odd
+// radix-2 tail, the packed real-input path — must agree with it to
+// floating-point roundoff.
+func naiveDFT(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	sign := -2 * math.Pi
+	if inverse {
+		sign = 2 * math.Pi
+	}
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			ang := sign * float64(j) * float64(k) / float64(n)
+			sum += x[j] * cmplx.Exp(complex(0, ang))
+		}
+		if inverse {
+			sum /= complex(float64(n), 0)
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// relError returns max_k |got[k]-want[k]| / max_k |want[k]|.
+func relError(got, want []complex128) float64 {
+	var maxDiff, maxMag float64
+	for k := range want {
+		if d := cmplx.Abs(got[k] - want[k]); d > maxDiff {
+			maxDiff = d
+		}
+		if m := cmplx.Abs(want[k]); m > maxMag {
+			maxMag = m
+		}
+	}
+	if maxMag == 0 {
+		return maxDiff
+	}
+	return maxDiff / maxMag
+}
+
+// allSizes is every power of two the engine supports in the test
+// budget. Odd log2 sizes (2, 8, 32, 128, 512) exercise the trailing
+// radix-2 pass after the fused radix-4 stages; even log2 sizes (4, 16,
+// 64, 256, 1024) run pure fused stages.
+var allSizes = []int{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+func TestForwardMatchesNaiveDFTAllSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	const tol = 1e-9
+	for _, n := range allSizes {
+		x := randComplex(rng, n)
+		want := naiveDFT(x, false)
+		got := append([]complex128(nil), x...)
+		Forward(got)
+		if e := relError(got, want); e > tol {
+			t.Errorf("n=%d: forward rel error %.3g > %.0g", n, e, tol)
+		}
+	}
+}
+
+func TestInverseMatchesNaiveDFTAllSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	const tol = 1e-9
+	for _, n := range allSizes {
+		x := randComplex(rng, n)
+		want := naiveDFT(x, true)
+		got := append([]complex128(nil), x...)
+		Inverse(got)
+		if e := relError(got, want); e > tol {
+			t.Errorf("n=%d: inverse rel error %.3g > %.0g", n, e, tol)
+		}
+	}
+}
+
+func TestRoundTripAllSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for _, n := range allSizes {
+		x := randComplex(rng, n)
+		got := append([]complex128(nil), x...)
+		Forward(got)
+		Inverse(got)
+		if e := relError(got, x); e > 1e-12 {
+			t.Errorf("n=%d: round-trip rel error %.3g", n, e)
+		}
+	}
+}
+
+// TestPlanStageStructure pins the fused-stage decomposition: even
+// log2(n) is all radix-4, odd log2(n) ends with exactly one radix-2
+// pass over the full length.
+func TestPlanStageStructure(t *testing.T) {
+	for _, n := range allSizes {
+		p := planFor(n)
+		log2 := 0
+		for 1<<log2 < n {
+			log2++
+		}
+		wantStages := log2 / 2
+		wantTail := log2%2 == 1
+		if wantTail {
+			wantStages++
+		}
+		if len(p.stages) != wantStages {
+			t.Fatalf("n=%d: %d stages, want %d", n, len(p.stages), wantStages)
+		}
+		for i, s := range p.stages {
+			last := i == len(p.stages)-1
+			if s.radix2 && !(last && wantTail) {
+				t.Fatalf("n=%d: unexpected radix-2 stage at %d", n, i)
+			}
+			if last && wantTail && (!s.radix2 || s.size != n) {
+				t.Fatalf("n=%d: tail stage radix2=%v size=%d, want radix-2 size %d", n, s.radix2, s.size, n)
+			}
+		}
+	}
+}
+
+func BenchmarkForward1D(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{256, 512, 1024} {
+		x := randComplex(rng, n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			buf := append([]complex128(nil), x...)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Forward(buf)
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	return "n=" + itoa(n)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

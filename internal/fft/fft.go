@@ -1,9 +1,12 @@
 // Package fft implements the fast Fourier transforms used by the
-// lithography simulator: an iterative radix-2 complex transform with
-// cached plans, 2-D transforms over grid.CMat, centre-shift utilities,
-// the [·]_P low-pass spectrum extraction of Eq. (2), and the fractional
-// frequency interpolation behind the sN-grid kernel resampling of
-// Eq. (3)/(8).
+// lithography simulator: a mixed radix-4/radix-2 complex transform with
+// cached per-stage twiddle tables, 2-D transforms over grid.CMat, a
+// real-input forward transform exploiting Hermitian symmetry
+// (ForwardReal2D), a batched transform API that runs many same-shaped
+// matrices through shared row/column fan-outs (Batch2D), centre-shift
+// utilities, the [·]_P low-pass spectrum extraction of Eq. (2), and the
+// fractional frequency interpolation behind the sN-grid kernel
+// resampling of Eq. (3)/(8).
 //
 // Conventions: the forward transform is unnormalised and the inverse
 // carries the 1/n factor per dimension, so Inverse(Forward(x)) == x.
@@ -11,6 +14,22 @@
 // layout); ToCentered/ToCorner swap between that and the DC-at-centre
 // layout used for human-readable kernel definitions. Sizes must be
 // powers of two.
+//
+// Performance design (see README "Performance engineering"): the 1-D
+// kernel is a decimation-in-time transform whose radix-2 stages are
+// fused in pairs into radix-4 passes — each pass loads four elements,
+// applies both constituent butterflies with values held in float64
+// registers, and stores four, halving the number of sweeps over the
+// data array relative to a plain radix-2 loop. Every pass reads a
+// contiguous per-stage twiddle table (no strided indexing into one
+// master table). For odd log2(n) the final unpaired stage runs as a
+// radix-2 pass, so all power-of-two sizes are supported. The arithmetic
+// performed per element is identical, operation for operation, to the
+// textbook radix-2 algorithm, so results are bit-identical to it.
+//
+// All transient buffers (column gather/scatter blocks, packed rows)
+// come from per-length pools shared by the serial and parallel paths,
+// giving the 2-D entry points an allocation-free steady state.
 package fft
 
 import (
@@ -23,13 +42,28 @@ import (
 	"mgsilt/internal/parallel"
 )
 
-// plan holds the precomputed bit-reversal permutation and twiddle
-// factors for a transform of a fixed power-of-two length. Plans are
-// immutable once built and safe for concurrent use.
+// plan holds the precomputed bit-reversal permutation and per-stage
+// twiddle tables for a transform of a fixed power-of-two length. Plans
+// are immutable once built and safe for concurrent use.
 type plan struct {
-	n       int
-	rev     []int        // bit-reversal permutation
-	twiddle []complex128 // forward twiddles, n/2 entries
+	n   int
+	rev []int // bit-reversal permutation
+	// stages are executed in order over bit-reversed input. Each entry
+	// is either a fused radix-4 pass covering the two radix-2 stages of
+	// sizes size/2 and size, or — as the final entry when log2(n) is
+	// odd — a plain radix-2 pass of size n.
+	stages []stage
+}
+
+// stage is one butterfly pass. tw holds size/2 twiddles
+// w^j = exp(-2πi·j/size) for j in [0, size/2); a fused radix-4 pass
+// finds the twiddles of both constituent radix-2 stages inside that one
+// contiguous table (stage size/2 uses tw[2j], stage size uses tw[j] and
+// tw[j+size/4]).
+type stage struct {
+	size   int
+	radix2 bool
+	tw     []complex128
 }
 
 var (
@@ -49,21 +83,40 @@ func planFor(n int) *plan {
 	if p, ok := plans[n]; ok {
 		return p
 	}
-	p := &plan{n: n, rev: make([]int, n), twiddle: make([]complex128, n/2)}
+	p := &plan{n: n, rev: make([]int, n)}
 	shift := bits.UintSize - uint(bits.TrailingZeros(uint(n)))
 	for i := 0; i < n; i++ {
 		p.rev[i] = int(bits.Reverse(uint(i)) >> shift)
 	}
-	for k := 0; k < n/2; k++ {
-		ang := -2 * math.Pi * float64(k) / float64(n)
-		p.twiddle[k] = complex(math.Cos(ang), math.Sin(ang))
+	// Fuse radix-2 stages in pairs from the bottom: sizes (2,4) →
+	// radix-4 pass of span 4, (8,16) → span 16, … When log2(n) is odd
+	// one stage of span n remains and runs as a radix-2 pass.
+	done := 1
+	for done*4 <= n {
+		size := done * 4
+		p.stages = append(p.stages, stage{size: size, tw: twiddles(size)})
+		done = size
+	}
+	if done < n {
+		p.stages = append(p.stages, stage{size: n, radix2: true, tw: twiddles(n)})
 	}
 	plans[n] = p
 	return p
 }
 
-// transform runs the in-place radix-2 FFT over x. When inverse is true
-// the conjugate twiddles are used and the result is scaled by 1/n.
+// twiddles builds the forward half-table for one stage:
+// w^j = exp(-2πi·j/size), j in [0, size/2).
+func twiddles(size int) []complex128 {
+	tw := make([]complex128, size/2)
+	for j := range tw {
+		ang := -2 * math.Pi * float64(j) / float64(size)
+		tw[j] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	return tw
+}
+
+// transform runs the in-place mixed-radix FFT over x. When inverse is
+// true the conjugate twiddles are used and the result is scaled by 1/n.
 func (p *plan) transform(x []complex128, inverse bool) {
 	n := p.n
 	if len(x) != n {
@@ -74,27 +127,122 @@ func (p *plan) transform(x []complex128, inverse bool) {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := n / size
-		for start := 0; start < n; start += size {
-			tw := 0
-			for k := start; k < start+half; k++ {
-				w := p.twiddle[tw]
-				if inverse {
-					w = complex(real(w), -imag(w))
-				}
-				t := w * x[k+half]
-				x[k+half] = x[k] - t
-				x[k] = x[k] + t
-				tw += step
-			}
+	for si := range p.stages {
+		st := &p.stages[si]
+		switch {
+		case st.radix2:
+			radix2Pass(x, st.tw, st.size, inverse)
+		case st.size == 4:
+			base4Pass(x, st.tw, inverse)
+		default:
+			radix4Pass(x, st.tw, st.size, inverse)
 		}
 	}
 	if inverse {
-		inv := complex(1/float64(n), 0)
-		for i := range x {
-			x[i] *= inv
+		inv := 1 / float64(n)
+		for i, v := range x {
+			x[i] = complex(real(v)*inv, imag(v)*inv)
+		}
+	}
+}
+
+// base4Pass is the first fused pass (radix-2 stages of sizes 2 and 4)
+// over bit-reversed data. Its stage-2 twiddle and the first stage-4
+// twiddle are exactly 1, so the only multiplication is by tw[1] (≈ -i,
+// taken from the table so the arithmetic matches the generic pass bit
+// for bit).
+func base4Pass(x []complex128, tw []complex128, inverse bool) {
+	wr, wi := real(tw[1]), imag(tw[1])
+	if inverse {
+		wi = -wi
+	}
+	for base := 0; base+3 < len(x); base += 4 {
+		a0, a1, a2, a3 := x[base], x[base+1], x[base+2], x[base+3]
+		// Stage of size 2 (twiddle 1): butterflies (a0,a1), (a2,a3).
+		b0r, b0i := real(a0)+real(a1), imag(a0)+imag(a1)
+		b1r, b1i := real(a0)-real(a1), imag(a0)-imag(a1)
+		b2r, b2i := real(a2)+real(a3), imag(a2)+imag(a3)
+		b3r, b3i := real(a2)-real(a3), imag(a2)-imag(a3)
+		// Stage of size 4: butterfly (b0,b2) with twiddle 1 and
+		// (b1,b3) with twiddle tw[1].
+		tr := wr*b3r - wi*b3i
+		ti := wr*b3i + wi*b3r
+		x[base] = complex(b0r+b2r, b0i+b2i)
+		x[base+1] = complex(b1r+tr, b1i+ti)
+		x[base+2] = complex(b0r-b2r, b0i-b2i)
+		x[base+3] = complex(b1r-tr, b1i-ti)
+	}
+}
+
+// radix4Pass fuses the two radix-2 stages of sizes size/2 and size into
+// a single sweep: each iteration loads x[i0..i3], applies the size/2
+// butterflies (i0,i1) and (i2,i3) with twiddle tw[2j], then the size
+// butterflies (i0,i2) and (i1,i3) with twiddles tw[j] and tw[j+size/4],
+// and stores the four results. Per element the operations and their
+// order are exactly those of the two separate radix-2 passes, so the
+// output is bit-identical — only the loads and stores are halved.
+func radix4Pass(x []complex128, tw []complex128, size int, inverse bool) {
+	quarter := size >> 2
+	half := size >> 1
+	for base := 0; base+size <= len(x); base += size {
+		for j := 0; j < quarter; j++ {
+			i0 := base + j
+			i1 := i0 + quarter
+			i2 := i0 + half
+			i3 := i2 + quarter
+
+			war, wai := real(tw[2*j]), imag(tw[2*j])
+			wbr, wbi := real(tw[j]), imag(tw[j])
+			wcr, wci := real(tw[j+quarter]), imag(tw[j+quarter])
+			if inverse {
+				wai, wbi, wci = -wai, -wbi, -wci
+			}
+
+			x0, x1, x2, x3 := x[i0], x[i1], x[i2], x[i3]
+
+			// Stage size/2: t = wa·x1; (x0,x1) ← (x0+t, x0−t), and the
+			// same butterfly on (x2,x3).
+			tr := war*real(x1) - wai*imag(x1)
+			ti := war*imag(x1) + wai*real(x1)
+			a0r, a0i := real(x0)+tr, imag(x0)+ti
+			a1r, a1i := real(x0)-tr, imag(x0)-ti
+
+			tr = war*real(x3) - wai*imag(x3)
+			ti = war*imag(x3) + wai*real(x3)
+			a2r, a2i := real(x2)+tr, imag(x2)+ti
+			a3r, a3i := real(x2)-tr, imag(x2)-ti
+
+			// Stage size: (a0,a2) with wb, (a1,a3) with wc.
+			tr = wbr*a2r - wbi*a2i
+			ti = wbr*a2i + wbi*a2r
+			x[i0] = complex(a0r+tr, a0i+ti)
+			x[i2] = complex(a0r-tr, a0i-ti)
+
+			tr = wcr*a3r - wci*a3i
+			ti = wcr*a3i + wci*a3r
+			x[i1] = complex(a1r+tr, a1i+ti)
+			x[i3] = complex(a1r-tr, a1i-ti)
+		}
+	}
+}
+
+// radix2Pass is the final unpaired stage for odd log2(n): one plain
+// radix-2 sweep of span size with its own contiguous twiddle table.
+func radix2Pass(x []complex128, tw []complex128, size int, inverse bool) {
+	half := size >> 1
+	for base := 0; base+size <= len(x); base += size {
+		for j := 0; j < half; j++ {
+			wr, wi := real(tw[j]), imag(tw[j])
+			if inverse {
+				wi = -wi
+			}
+			k := base + j
+			y := x[k+half]
+			tr := wr*real(y) - wi*imag(y)
+			ti := wr*imag(y) + wi*real(y)
+			xr, xi := real(x[k]), imag(x[k])
+			x[k] = complex(xr+tr, xi+ti)
+			x[k+half] = complex(xr-tr, xi-ti)
 		}
 	}
 }
@@ -118,8 +266,55 @@ func Inverse2D(m *grid.CMat) { transform2D(m, true) }
 // serial: a 128² transform finishes in tens of microseconds, where the
 // fork/join overhead of a parallel section (token acquisition + two
 // goroutine barriers) eats the gain. From 256² upward the independent
-// 1-D transforms dominate and chunked parallelism wins.
+// 1-D transforms dominate and chunked parallelism wins. Batch2D applies
+// the same threshold to the combined element count of its batch, so
+// many small per-kernel buffers still parallelise.
 const parallelCrossover = 256 * 256
+
+// colBlock is the number of columns gathered into one contiguous
+// scratch block per column-pass step. Gathering a single column touches
+// one 16-byte element per cache line; gathering a block reads
+// colBlock·16 contiguous bytes per row, amortising each line across
+// several columns. 8 columns × 16 bytes = two 64-byte lines per row.
+const colBlock = 8
+
+// scratch is a pooled []complex128 used for column gather/scatter
+// blocks and packed real rows. Pools are keyed by length and shared by
+// the serial and parallel paths; the wrapper struct (instead of a bare
+// slice) keeps Get/Put free of per-call interface allocations after
+// warm-up.
+type scratch struct {
+	buf []complex128
+}
+
+var scratchPools sync.Map // int -> *sync.Pool of *scratch
+
+// scratchPoolFor returns the pool for length n. The Load fast path
+// matters: LoadOrStore boxes its key and allocates the candidate pool
+// on every call, which would put three small heap allocations on every
+// 2-D transform; Load's key does not escape, so the hit path is
+// allocation-free.
+func scratchPoolFor(n int) *sync.Pool {
+	if v, ok := scratchPools.Load(n); ok {
+		return v.(*sync.Pool)
+	}
+	v, _ := scratchPools.LoadOrStore(n, &sync.Pool{})
+	return v.(*sync.Pool)
+}
+
+func getScratch(n int) *scratch {
+	if v := scratchPoolFor(n).Get(); v != nil {
+		return v.(*scratch)
+	}
+	return &scratch{buf: make([]complex128, n)}
+}
+
+func putScratch(s *scratch) {
+	if s == nil {
+		return
+	}
+	scratchPoolFor(len(s.buf)).Put(s)
+}
 
 func transform2D(m *grid.CMat, inverse bool) {
 	rowPlan := planFor(m.W)
@@ -131,18 +326,43 @@ func transform2D(m *grid.CMat, inverse bool) {
 	for y := 0; y < m.H; y++ {
 		rowPlan.transform(m.Row(y), inverse)
 	}
-	// Column pass through a gather/scatter buffer. A blocked-transpose
-	// variant was benchmarked and lost ~15% at the simulator's working
-	// sizes (≤512², where a full matrix still fits in L2/L3): the two
-	// extra full-matrix copies cost more than the strided gathers.
-	col := make([]complex128, m.H)
-	for x := 0; x < m.W; x++ {
-		for y := 0; y < m.H; y++ {
-			col[y] = m.Data[y*m.W+x]
+	s := getScratch(colBlock * m.H)
+	colPlan.columnsPass(m, 0, m.W, inverse, s)
+	putScratch(s)
+}
+
+// columnsPass transforms columns [x0, x1) of m in cache-blocked groups:
+// colBlock columns are gathered into one contiguous column-major
+// scratch block (contiguous reads along each row), transformed as
+// ordinary 1-D buffers, and scattered back. Compared to a per-column
+// gather — which touches a full cache line per 16-byte element — the
+// blocked gather reads colBlock elements per line touch. A full
+// blocked-transpose variant was benchmarked and lost at the simulator's
+// working sizes (≤512², where a matrix still fits in L2/L3): two extra
+// full-matrix copies cost more than the blocked gathers.
+func (p *plan) columnsPass(m *grid.CMat, x0, x1 int, inverse bool, s *scratch) {
+	h, w := m.H, m.W
+	for b0 := x0; b0 < x1; b0 += colBlock {
+		b1 := b0 + colBlock
+		if b1 > x1 {
+			b1 = x1
 		}
-		colPlan.transform(col, inverse)
-		for y := 0; y < m.H; y++ {
-			m.Data[y*m.W+x] = col[y]
+		nb := b1 - b0
+		buf := s.buf
+		for y := 0; y < h; y++ {
+			row := m.Data[y*w+b0 : y*w+b1]
+			for c, v := range row {
+				buf[c*h+y] = v
+			}
+		}
+		for c := 0; c < nb; c++ {
+			p.transform(buf[c*h:(c+1)*h], inverse)
+		}
+		for y := 0; y < h; y++ {
+			row := m.Data[y*w+b0 : y*w+b1]
+			for c := range row {
+				row[c] = buf[c*h+y]
+			}
 		}
 	}
 }
@@ -151,9 +371,9 @@ func transform2D(m *grid.CMat, inverse bool) {
 // worker pool. Every 1-D transform owns a disjoint row (or column) of
 // m and the per-length plans are immutable, so the output is
 // bit-identical to the serial pass regardless of worker count or chunk
-// boundaries; only the execution order differs. Each column chunk
-// allocates one gather/scatter buffer, so scratch stays bounded by the
-// pool width.
+// boundaries; only the execution order differs. Column chunks draw
+// their gather/scatter blocks from the per-length scratch pool shared
+// with the serial path, so steady-state scratch allocation is zero.
 func transform2DParallel(m *grid.CMat, rowPlan, colPlan *plan, inverse bool) {
 	parallel.DoChunks(m.H, 0, func(lo, hi int) {
 		for y := lo; y < hi; y++ {
@@ -161,50 +381,49 @@ func transform2DParallel(m *grid.CMat, rowPlan, colPlan *plan, inverse bool) {
 		}
 	})
 	parallel.DoChunks(m.W, 0, func(lo, hi int) {
-		col := make([]complex128, m.H)
-		for x := lo; x < hi; x++ {
-			for y := 0; y < m.H; y++ {
-				col[y] = m.Data[y*m.W+x]
-			}
-			colPlan.transform(col, inverse)
-			for y := 0; y < m.H; y++ {
-				m.Data[y*m.W+x] = col[y]
-			}
-		}
+		s := getScratch(colBlock * m.H)
+		colPlan.columnsPass(m, lo, hi, inverse, s)
+		putScratch(s)
 	})
 }
 
 // ForwardReal transforms a real matrix into a freshly allocated
-// corner-layout spectrum.
+// corner-layout spectrum. It routes through ForwardReal2D, so it costs
+// roughly half a complex 2-D transform.
 func ForwardReal(m *grid.Mat) *grid.CMat {
-	c := grid.NewCMatFromReal(m)
-	Forward2D(c)
+	c := grid.NewCMat(m.H, m.W)
+	ForwardReal2D(c, m)
 	return c
 }
 
 // ToCentered converts a corner-layout spectrum (DC at (0,0)) into
 // centre layout (DC at (H/2, W/2)) in a fresh matrix. For even sizes
-// the operation is an involution implemented as a quadrant swap.
-func ToCentered(m *grid.CMat) *grid.CMat { return quadrantSwap(m) }
+// the operation is an involution implemented as a quadrant swap. Use
+// SwapQuadrants to convert in place without allocating.
+func ToCentered(m *grid.CMat) *grid.CMat { return SwapQuadrants(m.Clone()) }
 
-// ToCorner converts a centre-layout spectrum back to corner layout.
-func ToCorner(m *grid.CMat) *grid.CMat { return quadrantSwap(m) }
+// ToCorner converts a centre-layout spectrum back to corner layout in a
+// fresh matrix (see ToCentered).
+func ToCorner(m *grid.CMat) *grid.CMat { return SwapQuadrants(m.Clone()) }
 
-func quadrantSwap(m *grid.CMat) *grid.CMat {
+// SwapQuadrants converts between corner and centre spectrum layouts in
+// place and returns m. Both dimensions must be even, which makes the
+// quadrant swap a perfect 2-cycle: element (y, x) trades places with
+// ((y+H/2) mod H, (x+W/2) mod W) and no scratch matrix is needed.
+func SwapQuadrants(m *grid.CMat) *grid.CMat {
 	if m.H%2 != 0 || m.W%2 != 0 {
 		panic("fft: quadrant swap requires even dimensions")
 	}
-	out := grid.NewCMat(m.H, m.W)
 	hh, hw := m.H/2, m.W/2
-	for y := 0; y < m.H; y++ {
-		sy := (y + hh) % m.H
-		src := m.Row(y)
-		dst := out.Row(sy)
-		for x := 0; x < m.W; x++ {
-			dst[(x+hw)%m.W] = src[x]
+	for y := 0; y < hh; y++ {
+		a := m.Row(y)
+		b := m.Row(y + hh)
+		for x := 0; x < hw; x++ {
+			a[x], b[x+hw] = b[x+hw], a[x]
+			a[x+hw], b[x] = b[x], a[x+hw]
 		}
 	}
-	return out
+	return m
 }
 
 // LowPass zeroes, in place, every coefficient of the corner-layout

@@ -1,0 +1,127 @@
+package fft
+
+import (
+	"fmt"
+
+	"mgsilt/internal/grid"
+	"mgsilt/internal/parallel"
+)
+
+// ForwardReal2D computes the 2-D forward FFT of the real matrix src
+// into dst (corner layout), exploiting Hermitian symmetry twice:
+//
+//   - Row pass: two real rows are packed into one complex buffer
+//     (row y as the real part, row y+1 as the imaginary part), one
+//     complex transform is run, and the two row spectra are separated
+//     with the Hermitian split R_y[j] = (Z[j] + conj(Z[-j]))/2,
+//     R_{y+1}[j] = -i·(Z[j] − conj(Z[-j]))/2 — H/2 transforms instead
+//     of H.
+//   - Column pass: after real-row transforms, column W−x is the
+//     element-wise conjugate of column x, so only columns 0..W/2 are
+//     transformed and the remaining half is filled by the conjugate
+//     reflection F[v][x] = conj(F[(H−v) mod H][W−x]).
+//
+// The result matches Forward2D applied to the complex embedding of src
+// to within a few ulps (the Hermitian split introduces one extra
+// rounded add and an exact halving per element), and the filled half is
+// exactly conjugate-symmetric. Overall cost is roughly half a complex
+// 2-D transform. dst must have src's shape; its prior contents are
+// ignored. Returns dst.
+//
+// Like Forward2D, the pass goes parallel on the shared pool above the
+// size crossover; output is bit-identical at every worker count (each
+// row pair, column, and reflected row is written by exactly one
+// goroutine).
+func ForwardReal2D(dst *grid.CMat, src *grid.Mat) *grid.CMat {
+	if dst.H != src.H || dst.W != src.W {
+		panic(fmt.Sprintf("fft: ForwardReal2D shape mismatch %dx%d vs %dx%d", dst.H, dst.W, src.H, src.W))
+	}
+	h, w := src.H, src.W
+	rowPlan := planFor(w)
+	colPlan := planFor(h)
+	if h == 1 {
+		// Degenerate single-row matrix: no pair packing possible.
+		for i, v := range src.Data {
+			dst.Data[i] = complex(v, 0)
+		}
+		rowPlan.transform(dst.Row(0), false)
+		return dst
+	}
+
+	pairs := h / 2
+	half := w / 2 // columns 0..half are transformed; the rest reflected
+	if h*w >= parallelCrossover && parallel.Workers() > 1 {
+		parallel.DoChunks(pairs, 0, func(lo, hi int) {
+			s := getScratch(w)
+			for pi := lo; pi < hi; pi++ {
+				packedRowPair(dst, src, pi, rowPlan, s.buf)
+			}
+			putScratch(s)
+		})
+		parallel.DoChunks(half+1, 0, func(lo, hi int) {
+			s := getScratch(colBlock * h)
+			colPlan.columnsPass(dst, lo, hi, false, s)
+			putScratch(s)
+		})
+		parallel.DoChunks(h, 0, func(lo, hi int) {
+			reflectColumns(dst, lo, hi)
+		})
+		return dst
+	}
+
+	s := getScratch(w)
+	for pi := 0; pi < pairs; pi++ {
+		packedRowPair(dst, src, pi, rowPlan, s.buf)
+	}
+	putScratch(s)
+	cs := getScratch(colBlock * h)
+	colPlan.columnsPass(dst, 0, half+1, false, cs)
+	putScratch(cs)
+	reflectColumns(dst, 0, h)
+	return dst
+}
+
+// packedRowPair transforms real source rows 2·pi and 2·pi+1 into their
+// spectra on the matching dst rows through one packed complex
+// transform. z must have length src.W.
+func packedRowPair(dst *grid.CMat, src *grid.Mat, pi int, rowPlan *plan, z []complex128) {
+	w := src.W
+	r0 := src.Row(2 * pi)
+	r1 := src.Row(2*pi + 1)
+	for j := 0; j < w; j++ {
+		z[j] = complex(r0[j], r1[j])
+	}
+	rowPlan.transform(z, false)
+	out0 := dst.Row(2 * pi)
+	out1 := dst.Row(2*pi + 1)
+	mask := w - 1
+	for j := 0; j < w; j++ {
+		jm := (w - j) & mask
+		ar, ai := real(z[j]), imag(z[j])
+		br, bi := real(z[jm]), imag(z[jm])
+		// R0 = (Z[j] + conj(Z[-j]))/2, R1 = -i·(Z[j] − conj(Z[-j]))/2.
+		out0[j] = complex(0.5*(ar+br), 0.5*(ai-bi))
+		out1[j] = complex(0.5*(ai+bi), 0.5*(br-ar))
+	}
+}
+
+// reflectColumns fills columns (W/2, W) of rows [y0, y1) from the
+// transformed half using the Hermitian identity of real-input spectra:
+// F[v][x] = conj(F[(H−v) mod H][W−x]). Reads touch only columns
+// 0..W/2, so the reflection can be chunked over rows with no overlap
+// between reads and writes.
+func reflectColumns(m *grid.CMat, y0, y1 int) {
+	h, w := m.H, m.W
+	half := w / 2
+	if half+1 >= w {
+		return
+	}
+	for y := y0; y < y1; y++ {
+		dst := m.Row(y)
+		src := m.Row((h - y) % h)
+		for x := half + 1; x < w; x++ {
+			v := src[w-x]
+			dst[x] = complex(real(v), -imag(v))
+		}
+	}
+}

@@ -53,6 +53,21 @@ func (m *CMat) Zero() *CMat {
 	return m
 }
 
+// ProdOf sets m = a ⊙ b element-wise and returns m. Compared to
+// copy-then-MulElem it touches every cache line once instead of twice,
+// which matters in the Hopkins hot path where the mask spectrum is
+// multiplied by every kernel spectrum per condition. The products are
+// bit-identical to MulElem's.
+func (m *CMat) ProdOf(a, b *CMat) *CMat {
+	m.mustSameShape(a, "ProdOf")
+	m.mustSameShape(b, "ProdOf")
+	bd := b.Data
+	for i, av := range a.Data {
+		m.Data[i] = av * bd[i]
+	}
+	return m
+}
+
 // MulElem multiplies m element-wise by o and returns m.
 func (m *CMat) MulElem(o *CMat) *CMat {
 	m.mustSameShape(o, "MulElem")

@@ -12,11 +12,21 @@ var (
 	cmatPools sync.Map // int -> *sync.Pool of *CMat
 )
 
+// poolFor returns the per-size pool from m, creating it on first use.
+// The Load fast path keeps the hot Get/Put calls allocation-free:
+// LoadOrStore boxes its key and allocates the candidate pool on every
+// call, while Load's key never escapes.
+func poolFor(m *sync.Map, size int) *sync.Pool {
+	if v, ok := m.Load(size); ok {
+		return v.(*sync.Pool)
+	}
+	v, _ := m.LoadOrStore(size, &sync.Pool{})
+	return v.(*sync.Pool)
+}
+
 // GetMat returns an h×w matrix from the pool (contents undefined).
 func GetMat(h, w int) *Mat {
-	size := h * w
-	p, _ := matPools.LoadOrStore(size, &sync.Pool{})
-	if v := p.(*sync.Pool).Get(); v != nil {
+	if v := poolFor(&matPools, h*w).Get(); v != nil {
 		m := v.(*Mat)
 		m.H, m.W = h, w
 		return m
@@ -34,16 +44,13 @@ func PutMat(m *Mat) {
 	}
 	// Keyed by H*W, which after the check above equals len(m.Data) —
 	// the same key GetMat uses.
-	p, _ := matPools.LoadOrStore(m.H*m.W, &sync.Pool{})
-	p.(*sync.Pool).Put(m)
+	poolFor(&matPools, m.H*m.W).Put(m)
 }
 
 // GetCMat returns an h×w complex matrix from the pool (contents
 // undefined).
 func GetCMat(h, w int) *CMat {
-	size := h * w
-	p, _ := cmatPools.LoadOrStore(size, &sync.Pool{})
-	if v := p.(*sync.Pool).Get(); v != nil {
+	if v := poolFor(&cmatPools, h*w).Get(); v != nil {
 		m := v.(*CMat)
 		m.H, m.W = h, w
 		return m
@@ -58,8 +65,7 @@ func PutCMat(m *CMat) {
 	if m == nil || len(m.Data) != m.H*m.W {
 		return
 	}
-	p, _ := cmatPools.LoadOrStore(m.H*m.W, &sync.Pool{})
-	p.(*sync.Pool).Put(m)
+	poolFor(&cmatPools, m.H*m.W).Put(m)
 }
 
 // Batch helpers for the parallel hot paths: a parallel Hopkins

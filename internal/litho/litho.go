@@ -95,11 +95,13 @@ type prepKey struct {
 }
 
 // prepared holds corner-layout kernel spectra ready for FFT pipelines,
-// plus the frequency-flipped versions used by the adjoint pass.
+// plus the frequency-flipped versions used by the adjoint pass,
+// pre-scaled by their 2·w_k gradient weight so the adjoint inner loop
+// performs one complex multiply per element instead of two.
 type prepared struct {
 	weights []float64
 	freq    []*grid.CMat // H(f), corner layout
-	flipped []*grid.CMat // H(-f), corner layout
+	adjoint []*grid.CMat // 2·w_k·H(-f), corner layout
 }
 
 // New builds a Simulator from a nominal and a defocused kernel set,
@@ -160,10 +162,16 @@ func (s *Simulator) preparedFor(focus Focus, size, stretch int) *prepared {
 	rs := src.Resampled(size, stretch)
 	p := &prepared{}
 	for _, k := range rs.Kernels {
-		corner := fft.ToCorner(k.Freq)
+		// Resampled kernels are freshly allocated, so the layout swap
+		// can run in place instead of copying.
+		corner := fft.SwapQuadrants(k.Freq)
 		p.weights = append(p.weights, k.Weight)
 		p.freq = append(p.freq, corner)
-		p.flipped = append(p.flipped, fft.FlipFreq(corner))
+		// Fold the 2·w_k adjoint weight into the flipped spectrum once
+		// at preparation time. The products are the same bits the inner
+		// loop would produce: complex multiplication is commutative at
+		// the floating-point level.
+		p.adjoint = append(p.adjoint, fft.FlipFreq(corner).Scale(complex(2*k.Weight, 0)))
 	}
 	s.cache[key] = p
 	return p
@@ -263,16 +271,16 @@ func injectAerial() {
 func (s *Simulator) aerial(mask *grid.Mat, pixelStretch int, focus Focus) *grid.Mat {
 	injectAerial()
 	p := s.preparedFor(focus, mask.H, s.kernelStretch(mask.H, pixelStretch))
-	fm := grid.GetCMat(mask.H, mask.W).FromReal(mask)
-	fft.Forward2D(fm)
-	intensity := grid.NewMat(mask.H, mask.W)
-	if s.workersFor(len(p.freq)) > 1 {
-		s.aerialParallel(p, fm, intensity)
+	limit := s.workersFor(len(p.freq))
+	fm := grid.GetCMat(mask.H, mask.W)
+	fft.ForwardReal2D(fm, mask) // mask is real: half a complex transform
+	intensity := grid.GetMat(mask.H, mask.W).Zero()
+	if limit > 1 {
+		s.aerialParallel(p, fm, intensity, limit)
 	} else {
 		buf := grid.GetCMat(mask.H, mask.W)
 		for i, h := range p.freq {
-			copy(buf.Data, fm.Data)
-			buf.MulElem(h)
+			buf.ProdOf(fm, h)
 			fft.Inverse2D(buf)
 			buf.AddAbsSqScaled(intensity, p.weights[i])
 		}
@@ -283,29 +291,65 @@ func (s *Simulator) aerial(mask *grid.Mat, pixelStretch int, focus Focus) *grid.
 }
 
 // aerialParallel fans the per-kernel convolutions of the Hopkins sum
-// out over the worker pool. Each kernel writes its weighted partial
-// intensity w_k·|A_k|² into its own pooled buffer; the partials are
-// then reduced into intensity sequentially in kernel order, which
-// replays the exact floating-point addition sequence of the serial
-// loop (serial: intensity[j] += w_k·|A_k[j]|² for k = 0,1,…;
+// out over the worker pool in three flat sections: one elementwise
+// fan-out building every kernel's field spectrum, ONE batched inverse
+// transform covering all k buffers (fft.Batch2D — a single row fan-out
+// plus a single column fan-out instead of k nested 2-D transforms),
+// and one fan-out squaring the fields into per-kernel partials. The
+// partials are then reduced into intensity sequentially in kernel
+// order, which replays the exact floating-point addition sequence of
+// the serial loop (serial: intensity[j] += w_k·|A_k[j]|² for k=0,1,…;
 // parallel: part_k[j] = 0 + w_k·|A_k[j]|² — identical, since 0 + x
 // round-trips exactly — then intensity[j] += part_k[j] in the same k
 // order). Parallel output is therefore bit-identical to serial.
-func (s *Simulator) aerialParallel(p *prepared, fm *grid.CMat, intensity *grid.Mat) {
+func (s *Simulator) aerialParallel(p *prepared, fm *grid.CMat, intensity *grid.Mat, limit int) {
 	k := len(p.freq)
+	fs := getFields(k, fm.H, fm.W)
+	fields := fs.cm
+	parallel.Do(k, limit, func(i int) { fields[i].ProdOf(fm, p.freq[i]) })
+	fft.Batch2DLimit(fields, fft.DirInverse, limit)
 	parts := grid.GetMats(k, intensity.H, intensity.W)
-	parallel.Do(k, s.workersFor(k), func(i int) {
-		buf := grid.GetCMat(fm.H, fm.W)
-		copy(buf.Data, fm.Data)
-		buf.MulElem(p.freq[i])
-		fft.Inverse2D(buf)
-		buf.AddAbsSqScaled(parts[i].Zero(), p.weights[i])
-		grid.PutCMat(buf)
+	parallel.Do(k, limit, func(i int) {
+		fields[i].AddAbsSqScaled(parts[i].Zero(), p.weights[i])
 	})
 	for _, part := range parts {
 		intensity.Add(part)
 	}
 	grid.PutMats(parts)
+	fs.release()
+}
+
+// fieldScratch recycles the per-evaluation batch of field buffers (one
+// pooled CMat per kernel) plus the pointer slice holding them, so a
+// steady-state LossGrad/Aerial evaluation performs no slice or matrix
+// allocation at all.
+type fieldScratch struct {
+	cm []*grid.CMat
+}
+
+var fieldScratchPool = sync.Pool{New: func() any { return &fieldScratch{} }}
+
+// getFields returns k pooled h×w complex matrices (contents undefined)
+// held in a recycled slice.
+func getFields(k, h, w int) *fieldScratch {
+	fs := fieldScratchPool.Get().(*fieldScratch)
+	if cap(fs.cm) < k {
+		fs.cm = make([]*grid.CMat, k)
+	}
+	fs.cm = fs.cm[:k]
+	for i := range fs.cm {
+		fs.cm[i] = grid.GetCMat(h, w)
+	}
+	return fs
+}
+
+// release returns every matrix and the slice itself to their pools.
+func (fs *fieldScratch) release() {
+	for i, m := range fs.cm {
+		grid.PutCMat(m)
+		fs.cm[i] = nil
+	}
+	fieldScratchPool.Put(fs)
 }
 
 // PrintResist thresholds an aerial image into a binary wafer image at
@@ -363,6 +407,11 @@ type LossOpts struct {
 // LossGrad evaluates the sigmoid-resist L2 loss against target and its
 // gradient with respect to the (continuous, full-range) mask pixels.
 // mask and target must have the same square power-of-two shape.
+//
+// The returned gradient is drawn from the grid pool; callers that
+// evaluate in a loop may hand it back with grid.PutMat once consumed
+// to keep the optimisation steady state allocation-free (holding on to
+// it is equally valid — ownership transfers to the caller).
 func (s *Simulator) LossGrad(mask, target *grid.Mat, opts LossOpts) (float64, *grid.Mat) {
 	if !mask.SameShape(target) {
 		panic(fmt.Sprintf("litho: mask %dx%d vs target %dx%d", mask.H, mask.W, target.H, target.W))
@@ -373,9 +422,9 @@ func (s *Simulator) LossGrad(mask, target *grid.Mat, opts LossOpts) (float64, *g
 		panic("litho: LossOpts.Stretch must be >= 1")
 	}
 	ks := s.kernelStretch(mask.H, stretch)
-	grad := grid.NewMat(mask.H, mask.W)
-	fm := grid.GetCMat(mask.H, mask.W).FromReal(mask)
-	fft.Forward2D(fm)
+	grad := grid.GetMat(mask.H, mask.W).Zero()
+	fm := grid.GetCMat(mask.H, mask.W)
+	fft.ForwardReal2D(fm, mask) // mask is real: half a complex transform
 	loss := s.lossGradCondition(fm, target, s.Nominal(), ks, 1, grad)
 	if opts.PVWeight > 0 {
 		loss += s.lossGradCondition(fm, target, s.Inner(), ks, opts.PVWeight, grad)
@@ -402,40 +451,41 @@ func (s *Simulator) lossGradCondition(fm *grid.CMat, target *grid.Mat, cond Cond
 	size := fm.H
 	p := s.preparedFor(cond.Focus, size, kernelStretch)
 	k := len(p.freq)
-	workers := s.workersFor(k)
+	limit := s.workersFor(k)
 
-	// Forward pass: fields and intensity. The field buffers come from
-	// the pool — a LossGrad evaluation otherwise allocates (kernels+4)
-	// full-size matrices per call, which keeps the garbage collector
-	// inside the optimisation loop. The per-kernel convolutions are
-	// independent, so they fan out over the worker pool; each kernel's
-	// weighted partial intensity lands in its own pooled buffer and the
-	// partials are reduced in kernel order, replaying the serial
-	// floating-point addition sequence exactly (see aerialParallel).
-	fields := make([]*grid.CMat, k)
+	// Forward pass: fields and intensity. Every intermediate — the k
+	// field buffers, their holding slice, and the accumulators — comes
+	// from a pool, so the steady state of an optimisation loop performs
+	// no allocation. The k per-kernel spectra are built in one
+	// elementwise fan-out and inverse-transformed by ONE batched
+	// transform (fft.Batch2D): a single row fan-out plus a single
+	// column fan-out instead of k nested 2-D transform sections. Each
+	// kernel's weighted partial intensity lands in its own pooled
+	// buffer and the partials are reduced in kernel order, replaying
+	// the serial floating-point addition sequence exactly (see
+	// aerialParallel) — parallel output is bit-identical to serial at
+	// every worker count.
+	fs := getFields(k, size, size)
+	fields := fs.cm
 	intensity := grid.GetMat(size, size).Zero()
-	if workers > 1 {
+	if limit > 1 {
+		parallel.Do(k, limit, func(i int) { fields[i].ProdOf(fm, p.freq[i]) })
+		fft.Batch2DLimit(fields, fft.DirInverse, limit)
 		parts := grid.GetMats(k, size, size)
-		parallel.Do(k, workers, func(i int) {
-			a := grid.GetCMat(size, size)
-			copy(a.Data, fm.Data)
-			a.MulElem(p.freq[i])
-			fft.Inverse2D(a)
-			a.AddAbsSqScaled(parts[i].Zero(), p.weights[i])
-			fields[i] = a
+		parallel.Do(k, limit, func(i int) {
+			fields[i].AddAbsSqScaled(parts[i].Zero(), p.weights[i])
 		})
 		for _, part := range parts {
 			intensity.Add(part)
 		}
 		grid.PutMats(parts)
 	} else {
-		for i, h := range p.freq {
-			a := grid.GetCMat(size, size)
-			copy(a.Data, fm.Data)
-			a.MulElem(h)
-			fft.Inverse2D(a)
+		for i := range fields {
+			fields[i].ProdOf(fm, p.freq[i])
+		}
+		fft.Batch2DLimit(fields, fft.DirInverse, 1)
+		for i, a := range fields {
 			a.AddAbsSqScaled(intensity, p.weights[i])
-			fields[i] = a
 		}
 	}
 
@@ -452,56 +502,42 @@ func (s *Simulator) lossGradCondition(fm *grid.CMat, target *grid.Mat, cond Cond
 		g.Data[i] = 2 * d * steep * dose * z * (1 - z)
 	}
 
-	// Adjoint pass, accumulated in the frequency domain. Parallel form:
-	// each kernel builds its full frequency-domain contribution
-	// 2w_k·H_k(-f)⊙F(g⊙conj(A_k)) in its own pooled buffer (the exact
-	// per-element expression of the serial loop), and the contributions
-	// are reduced into acc sequentially in kernel order — again
-	// bit-identical to the serial accumulation.
+	// Adjoint pass, accumulated in the frequency domain. The fields are
+	// no longer needed once q_k = g ⊙ conj(A_k) is formed, so each q_k
+	// overwrites its own field buffer in place; the k forward transforms
+	// again collapse into one batched pass. Each kernel's contribution
+	// (2w_k·H_k(-f)) ⊙ F(q_k) — the flipped spectra carry the 2w_k
+	// factor from preparation — is reduced into acc sequentially in
+	// kernel order, bit-identical to the serial accumulation.
 	acc := grid.GetCMat(size, size).Zero()
-	if workers > 1 {
-		terms := make([]*grid.CMat, k)
-		parallel.Do(k, workers, func(i int) {
+	if limit > 1 {
+		parallel.Do(k, limit, func(i int) { mulRealConj(fields[i], g) })
+		fft.Batch2DLimit(fields, fft.DirForward, limit)
+		parallel.Do(k, limit, func(i int) {
 			a := fields[i]
-			q := grid.GetCMat(size, size)
-			for j, av := range a.Data {
-				// q = g ⊙ conj(A_k)
-				q.Data[j] = complex(g.Data[j], 0) * complex(real(av), -imag(av))
+			adj := p.adjoint[i]
+			for j, qv := range a.Data {
+				a.Data[j] = adj.Data[j] * qv
 			}
-			fft.Forward2D(q)
-			w := complex(2*p.weights[i], 0)
-			fl := p.flipped[i]
-			for j := range q.Data {
-				q.Data[j] = w * fl.Data[j] * q.Data[j]
-			}
-			terms[i] = q
-			grid.PutCMat(a)
-			fields[i] = nil
 		})
-		for _, t := range terms {
-			for j := range acc.Data {
-				acc.Data[j] += t.Data[j]
+		for _, t := range fields {
+			for j, tv := range t.Data {
+				acc.Data[j] += tv
 			}
 		}
-		grid.PutCMats(terms)
 	} else {
-		q := grid.GetCMat(size, size)
-		for i, a := range fields {
-			for j, av := range a.Data {
-				// q = g ⊙ conj(A_k)
-				q.Data[j] = complex(g.Data[j], 0) * complex(real(av), -imag(av))
-			}
-			fft.Forward2D(q)
-			w := complex(2*p.weights[i], 0)
-			fl := p.flipped[i]
-			for j := range acc.Data {
-				acc.Data[j] += w * fl.Data[j] * q.Data[j]
-			}
-			grid.PutCMat(a)
-			fields[i] = nil
+		for _, a := range fields {
+			mulRealConj(a, g)
 		}
-		grid.PutCMat(q)
+		fft.Batch2DLimit(fields, fft.DirForward, 1)
+		for i, a := range fields {
+			adj := p.adjoint[i]
+			for j, qv := range a.Data {
+				acc.Data[j] += adj.Data[j] * qv
+			}
+		}
 	}
+	fs.release()
 	fft.Inverse2D(acc)
 	for j := range grad.Data {
 		grad.Data[j] += weight * real(acc.Data[j])
@@ -510,4 +546,16 @@ func (s *Simulator) lossGradCondition(fm *grid.CMat, target *grid.Mat, cond Cond
 	grid.PutMat(g)
 	grid.PutCMat(acc)
 	return weight * loss
+}
+
+// mulRealConj sets a = g ⊙ conj(a) element-wise for real g — the
+// adjoint source term q_k = g ⊙ conj(A_k) built in place over the
+// field buffer. Written as two real multiplies per element instead of
+// a full complex product against complex(g, 0).
+func mulRealConj(a *grid.CMat, g *grid.Mat) {
+	gd := g.Data
+	for j, av := range a.Data {
+		gv := gd[j]
+		a.Data[j] = complex(gv*real(av), -(gv * imag(av)))
+	}
 }

@@ -110,7 +110,7 @@ func BenchmarkAerial(b *testing.B) {
 	for _, w := range []int{1, 2, 4} {
 		b.Run(benchName(w), func(b *testing.B) {
 			benchWorkers(b, w, func(sim *Simulator) {
-				sim.Aerial(mask, sim.Nominal())
+				grid.PutMat(sim.Aerial(mask, sim.Nominal()))
 			})
 		})
 	}
@@ -122,7 +122,8 @@ func BenchmarkLossGrad(b *testing.B) {
 	for _, w := range []int{1, 2, 4} {
 		b.Run(benchName(w), func(b *testing.B) {
 			benchWorkers(b, w, func(sim *Simulator) {
-				sim.LossGrad(mask, target, LossOpts{Stretch: 1, PVWeight: 0.5})
+				_, grad := sim.LossGrad(mask, target, LossOpts{Stretch: 1, PVWeight: 0.5})
+				grid.PutMat(grad)
 			})
 		})
 	}

@@ -1,0 +1,8 @@
+//go:build race
+
+package litho
+
+// raceEnabled reports that the race detector is active; the allocation
+// regression tests skip under it because instrumentation changes the
+// allocation profile.
+const raceEnabled = true

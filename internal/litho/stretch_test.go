@@ -3,6 +3,7 @@ package litho
 import (
 	"testing"
 
+	"mgsilt/internal/grid"
 	"mgsilt/internal/kernels"
 )
 
@@ -67,7 +68,8 @@ func BenchmarkLossGrad64(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sim.LossGrad(mask, target, LossOpts{Stretch: 1})
+		_, grad := sim.LossGrad(mask, target, LossOpts{Stretch: 1})
+		grid.PutMat(grad)
 	}
 }
 
@@ -77,7 +79,7 @@ func BenchmarkAerial128(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sim.Aerial(mask, sim.Nominal())
+		grid.PutMat(sim.Aerial(mask, sim.Nominal()))
 	}
 }
 

@@ -60,6 +60,7 @@ func (s *LevelSet) Solve(target, init *grid.Mat, p Params) (*grid.Mat, error) {
 			v := gm.Data[i] - s.Curvature*curv.Data[i]
 			vel[i] = v * gradMag.Data[i]
 		}
+		grid.PutMat(gm) // LossGrad hands over a pooled matrix
 		maskFrozen(vel, p.Freeze)
 		for i := range phi.Data {
 			phi.Data[i] -= p.LR * vel[i]

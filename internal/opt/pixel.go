@@ -96,6 +96,7 @@ func (s *Pixel) Solve(target, init *grid.Mat, p Params) (*grid.Mat, error) {
 			m := mask.Data[i]
 			dTheta[i] = gm.Data[i] * slope * m * (1 - m)
 		}
+		grid.PutMat(gm) // LossGrad hands over a pooled matrix
 		maskFrozen(dTheta, p.Freeze)
 		lr := p.LR
 		if w := s.WarmupIters; w > 0 && it < w {
