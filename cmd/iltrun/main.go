@@ -1,6 +1,15 @@
 // Command iltrun executes one ILT flow on one synthetic clip and
-// reports the paper's metrics, optionally dumping mask/wafer/target
-// images and a Fig. 8-style stitch-error overlay.
+// reports the paper's metrics plus the engine's per-stage wall-time
+// timeline, optionally dumping mask/wafer/target images and a
+// Fig. 8-style stitch-error overlay.
+//
+// With -checkpoint-file the run persists every completed stage's
+// snapshot to disk (atomic rename), and -resume-file restarts a killed
+// run from its last completed stage — the CLI equivalent of the job
+// service's POST /v1/jobs/{id}/resume:
+//
+//	iltrun -method ours -checkpoint-file run.ckpt   # killed mid-flow
+//	iltrun -method ours -resume-file run.ckpt       # resumes, bit-identical
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"mgsilt/internal/metrics"
 	"mgsilt/internal/opt"
 	"mgsilt/internal/parallel"
+	"mgsilt/internal/pipeline"
 )
 
 func main() {
@@ -35,6 +45,9 @@ func main() {
 		faultRate = flag.Float64("fault-rate", 0, "chaos: per-attempt transient fault probability at the device.run site (0 disables)")
 		faultHard = flag.Float64("fault-hard", 0, "chaos: per-attempt hard device-failure probability (quarantines the device)")
 		faultSeed = flag.Int64("fault-seed", 1, "chaos: deterministic fault-schedule seed")
+		ckptFile  = flag.String("checkpoint-file", "", "persist each completed stage's checkpoint to this file (atomic replace), so a killed run can be resumed")
+		resume    = flag.String("resume-file", "", "resume from a checkpoint file written by -checkpoint-file (flow and clip geometry must match)")
+		times     = flag.Bool("stage-times", true, "print the engine's per-stage wall-time timeline")
 	)
 	flag.Parse()
 	if *workers > 0 {
@@ -93,6 +106,28 @@ func main() {
 		cfg.Cluster.Retry = &fault.Retry{}
 	}
 
+	// Checkpoint/resume persistence: every completed stage's snapshot
+	// is atomically replaced on disk, so a SIGKILL between stages costs
+	// at most the interrupted stage on the next -resume-file run.
+	if *resume != "" {
+		ck, err := readCheckpointFile(*resume)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Resume = ck
+		fmt.Fprintf(os.Stderr, "iltrun: resuming %s after stage %d/%d\n", ck.Flow, ck.Stage, ck.Total)
+	}
+	if *ckptFile != "" {
+		path := *ckptFile
+		cfg.Checkpoint = func(ck core.Checkpoint) {
+			if err := writeCheckpointFile(path, &ck); err != nil {
+				// A failed snapshot must not kill the optimisation; the
+				// run simply loses resumability from this stage.
+				fmt.Fprintln(os.Stderr, "iltrun: checkpoint:", err)
+			}
+		}
+	}
+
 	var res *core.Result
 	switch *method {
 	case "ours":
@@ -130,6 +165,12 @@ func main() {
 		fmt.Printf("chaos        : %d retries, %d device(s) quarantined (reproduce with -fault-seed %d -fault-rate %g -fault-hard %g)\n",
 			res.Stats.Retries, res.Stats.Quarantined, *faultSeed, *faultRate, *faultHard)
 	}
+	if *times && len(res.Timeline) > 0 {
+		fmt.Printf("stages       : %d executed\n", len(res.Timeline))
+		for _, st := range res.Timeline {
+			fmt.Printf("  %-8s %2d/%-2d %9.1f ms\n", st.Name, st.Iter, st.Total, float64(st.Wall.Microseconds())/1e3)
+		}
+	}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -153,6 +194,36 @@ func main() {
 			fmt.Printf("wrote %s\n", path)
 		}
 	}
+}
+
+// writeCheckpointFile atomically replaces path with the serialised
+// checkpoint (versioned header + mask payload): a kill mid-write
+// leaves the previous snapshot intact.
+func writeCheckpointFile(path string, ck *core.Checkpoint) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := pipeline.WriteCheckpoint(f, ck); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func readCheckpointFile(path string) (*core.Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return pipeline.ReadCheckpoint(f)
 }
 
 func fatal(err error) {

@@ -2,6 +2,10 @@
 // server that accepts ILT jobs (flow + clip + config knobs), queues
 // them onto a bounded worker pool of simulated accelerator clusters,
 // and exposes progress, results, cancellation and Prometheus metrics.
+// Every flow runs on the stage-pipeline engine, so every job reports
+// an engine-measured stage_timeline in its status JSON, checkpoints
+// after each completed stage, and can be resumed bit-identically via
+// POST /v1/jobs/{id}/resume after a failure or cancellation.
 //
 // Quickstart (see README.md for the full curl walkthrough):
 //

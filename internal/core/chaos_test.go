@@ -253,6 +253,98 @@ func TestDivideAndConquerCheckpointResume(t *testing.T) {
 	}
 }
 
+// TestFullChipCheckpointResume: full-chip became checkpointable when it
+// moved onto the pipeline engine. Resuming its single-stage checkpoint
+// must skip the solve entirely (the failingSolver proves it) and replay
+// only the evaluation.
+func TestFullChipCheckpointResume(t *testing.T) {
+	sim := testSim(t)
+	target := testClipTarget(t, 7)
+
+	var cps []Checkpoint
+	cfg := testConfig(t, sim, 4)
+	cfg.Solver = identitySolver{}
+	cfg.Checkpoint = func(c Checkpoint) { cps = append(cps, c) }
+	full, err := FullChip(cfg, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) != 1 || cps[0].Flow != "full-chip" || cps[0].Stage != 1 || cps[0].Total != 1 {
+		t.Fatalf("checkpoints %+v", cps)
+	}
+
+	rcfg := testConfig(t, sim, 4)
+	rcfg.Solver = failingSolver{} // must never be called on resume
+	rcfg.Resume = &cps[0]
+	res, err := FullChip(rcfg, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Mask.Equal(full.Mask) {
+		t.Fatal("resumed full-chip diverged")
+	}
+	if res.L2 != full.L2 || res.PVBand != full.PVBand || res.StitchLoss != full.StitchLoss {
+		t.Fatal("resumed full-chip changed metrics")
+	}
+}
+
+// TestStitchAndHealCheckpointResume replays stitch-and-heal from each
+// emitted checkpoint (the inner solve plus every healed line) and
+// requires bit-identical masks, metrics and AuxLines — the healing
+// windows' boundary geometry must survive a resume even though the
+// skipped heal stages never re-execute.
+func TestStitchAndHealCheckpointResume(t *testing.T) {
+	sim := testSim(t)
+	target := testClipTarget(t, 7)
+
+	var cps []Checkpoint
+	cfg := testConfig(t, sim, 4)
+	cfg.Checkpoint = func(c Checkpoint) { cps = append(cps, c) }
+	full, err := StitchAndHeal(cfg, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) == 0 {
+		t.Fatal("no checkpoints emitted")
+	}
+	total := cps[0].Total
+	if len(cps) != total {
+		t.Fatalf("%d checkpoints for %d stages", len(cps), total)
+	}
+	for i, cp := range cps {
+		if cp.Flow != "stitch-and-heal" || cp.Stage != i+1 || cp.Total != total {
+			t.Fatalf("checkpoint %d malformed: %+v", i, cp)
+		}
+	}
+
+	for _, cp := range cps {
+		rcfg := testConfig(t, sim, 4)
+		rcfg.Resume = &cp
+		res, err := StitchAndHeal(rcfg, target)
+		if err != nil {
+			t.Fatalf("resume from stage %d: %v", cp.Stage, err)
+		}
+		if !res.Mask.Equal(full.Mask) {
+			t.Fatalf("resume from stage %d/%d diverged from the uninterrupted run", cp.Stage, cp.Total)
+		}
+		if res.L2 != full.L2 || res.StitchLoss != full.StitchLoss {
+			t.Fatalf("resume from stage %d changed metrics", cp.Stage)
+		}
+		if len(res.AuxLines) != len(full.AuxLines) {
+			t.Fatalf("resume from stage %d has %d aux lines, want %d", cp.Stage, len(res.AuxLines), len(full.AuxLines))
+		}
+		for i := range res.AuxLines {
+			if res.AuxLines[i] != full.AuxLines[i] {
+				t.Fatalf("resume from stage %d aux line %d = %+v, want %+v", cp.Stage, i, res.AuxLines[i], full.AuxLines[i])
+			}
+		}
+		// The resumed run's timeline covers only the executed stages.
+		if want := total - cp.Stage + 1; len(res.Timeline) != want { // +1 for "inspect"
+			t.Fatalf("resume from stage %d timeline has %d entries, want %d", cp.Stage, len(res.Timeline), want)
+		}
+	}
+}
+
 type failingSolver struct{}
 
 func (failingSolver) Solve(target, init *grid.Mat, p opt.Params) (*grid.Mat, error) {

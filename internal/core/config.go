@@ -30,6 +30,7 @@ import (
 	"mgsilt/internal/litho"
 	"mgsilt/internal/metrics"
 	"mgsilt/internal/opt"
+	"mgsilt/internal/pipeline"
 	"mgsilt/internal/tile"
 )
 
@@ -57,9 +58,12 @@ type Config struct {
 
 	// Checkpoint, when non-nil, is invoked from the flow's goroutine
 	// after each completed stage with a snapshot sufficient to resume
-	// the flow from that stage (the mask is a private clone). Flows
-	// that checkpoint: MultigridSchwarz (each coarse level, fine stage
-	// and refine sweep is one stage) and DivideAndConquer (one stage).
+	// the flow from that stage (the mask is a private clone, taken
+	// lazily — no hook, no clone). Every flow runs on the stage
+	// pipeline engine, so every flow checkpoints: MultigridSchwarz
+	// stages each coarse level, fine stage and refine sweep;
+	// StitchAndHeal its inner solve plus each healed line;
+	// DivideAndConquer, FullChip and OverlapSelect a single stage.
 	Checkpoint func(Checkpoint)
 
 	// Resume, when non-nil, restarts the flow from the given checkpoint
@@ -69,6 +73,13 @@ type Config struct {
 	// or the result is undefined (flow name and mask shape are
 	// validated; the iteration schedule is the caller's contract).
 	Resume *Checkpoint
+
+	// StageDone, when non-nil, receives the pipeline engine's timing
+	// entry after each executed stage (and the final "inspect"
+	// evaluation). The job service feeds its stage timeline and the
+	// ilt_stage_duration_seconds histogram from this hook; it must be
+	// cheap and non-blocking.
+	StageDone func(pipeline.StageTiming)
 
 	ClipSize   int // layout side (power-of-two multiple of Sim.N())
 	TileSize   int // tile side (the paper uses Sim.N())
@@ -215,44 +226,30 @@ func (c *Config) progress(stage string, iter, total int) {
 	}
 }
 
-// checkpoint emits a stage snapshot if a hook is installed.
-func (c *Config) checkpoint(ck Checkpoint) {
-	if c.Checkpoint != nil {
-		c.Checkpoint(ck)
-	}
-}
+// Checkpoint is a stage-level snapshot of a running flow — the engine
+// type re-exported, so service/CLI code keeps speaking core.Checkpoint
+// while the pipeline engine owns emission, validation and disk
+// serialisation (pipeline.WriteCheckpoint / ReadCheckpoint).
+type Checkpoint = pipeline.Checkpoint
 
-// Checkpoint is a stage-level snapshot of a running flow: the assembled
-// layout after Stage completed stages. It is what the job service
-// persists so a job killed mid-flow resumes from its last completed
-// stage instead of from scratch.
-type Checkpoint struct {
-	// Flow is the flow that produced the snapshot ("multigrid-schwarz"
-	// or "divide-and-conquer"); Resume validates it.
-	Flow string
-	// Stage counts completed stages, 1-based. For MultigridSchwarz the
-	// stage sequence is coarse levels, then fine Schwarz stages, then
-	// refine sweeps.
-	Stage int
-	// Total is the schedule's stage count, for progress reporting.
-	Total int
-	// Mask is the assembled layout after Stage stages (a clone; safe to
-	// retain).
-	Mask *grid.Mat
-}
+// StageTiming is the engine's per-stage wall-time record, re-exported
+// for the same reason.
+type StageTiming = pipeline.StageTiming
 
-// validFor checks that the checkpoint can seed the given flow/geometry.
-func (ck *Checkpoint) validFor(flow string, clip, total int) error {
-	if ck.Flow != flow {
-		return fmt.Errorf("core: checkpoint from flow %q cannot resume %q", ck.Flow, flow)
+// engine assembles the pipeline run for one flow, wiring the Config's
+// cross-cutting hooks (ctx, progress, checkpoint, resume, timing) so
+// every flow is uniformly instrumented and resumable.
+func (c *Config) engine(flow string, stages []pipeline.Stage) *pipeline.Pipeline {
+	return &pipeline.Pipeline{
+		Flow:       flow,
+		Clip:       c.ClipSize,
+		Stages:     stages,
+		Ctx:        c.Ctx,
+		Progress:   c.Progress,
+		Checkpoint: c.Checkpoint,
+		StageDone:  c.StageDone,
+		Resume:     c.Resume,
 	}
-	if ck.Mask == nil || ck.Mask.H != clip || ck.Mask.W != clip {
-		return fmt.Errorf("core: checkpoint mask does not match clip %d", clip)
-	}
-	if ck.Stage < 1 || ck.Stage > total {
-		return fmt.Errorf("core: checkpoint stage %d out of range 1..%d", ck.Stage, total)
-	}
-	return nil
 }
 
 func (c *Config) cluster() *device.Cluster {
@@ -282,12 +279,20 @@ type Result struct {
 	Lines    []tile.StitchLine // stitch lines evaluated
 	AuxLines []tile.StitchLine // extra boundaries (stitch-and-heal windows)
 	Stats    device.Stats      // cluster accounting snapshot
+
+	// Timeline is the engine's per-stage wall-time record for the
+	// stages this run actually executed (resume-skipped stages do not
+	// appear), closed by the final "inspect" evaluation entry.
+	Timeline []pipeline.StageTiming
 }
 
 // evaluate runs the paper's final inspection: binarise the mask and
 // simulate the entire clip with Eq. (3), then measure Definitions 1-3.
-func (c *Config) evaluate(method string, mask, target *grid.Mat, lines []tile.StitchLine, tat time.Duration, cl *device.Cluster) *Result {
+// The inspection is timed like an engine stage and appended to the
+// run's timeline.
+func (c *Config) evaluate(method string, mask, target *grid.Mat, lines []tile.StitchLine, tat time.Duration, cl *device.Cluster, timeline []pipeline.StageTiming) *Result {
 	c.progress("inspect", 1, 1)
+	start := time.Now()
 	binary := mask.Binarize(0.5)
 	res := &Result{
 		Method: method,
@@ -300,5 +305,10 @@ func (c *Config) evaluate(method string, mask, target *grid.Mat, lines []tile.St
 	}
 	res.StitchLoss, res.Errors = metrics.StitchLoss(binary, lines, c.Stitch)
 	res.Stats = cl.Stats()
+	inspect := pipeline.StageTiming{Name: "inspect", Iter: 1, Total: 1, Wall: time.Since(start)}
+	if c.StageDone != nil {
+		c.StageDone(inspect)
+	}
+	res.Timeline = append(timeline, inspect)
 	return res
 }

@@ -6,29 +6,12 @@ import (
 	"sync"
 
 	"mgsilt/internal/device"
-	"mgsilt/internal/fault"
 	"mgsilt/internal/filter"
 	"mgsilt/internal/grid"
 	"mgsilt/internal/opt"
+	"mgsilt/internal/pipeline"
 	"mgsilt/internal/tile"
 )
-
-// recoverInjected converts an injected fault.Panic unwinding out of a
-// flow's own simulator calls (metric evaluation, assembly inspection —
-// anything outside a device job's recovery boundary) into an ordinary
-// flow error, so a process-global chaos injector fails the flow
-// instead of crashing the process. Genuine panics propagate.
-func recoverInjected(err *error) {
-	r := recover()
-	if r == nil {
-		return
-	}
-	if fe, ok := fault.FromPanic(r); ok {
-		*err = fe
-		return
-	}
-	panic(r)
-}
 
 // solveTiles optimises the selected tiles of the current layout m
 // against target on the cluster and returns the per-tile solutions
@@ -125,24 +108,51 @@ func (c *Config) solveCoarseTiles(cl *device.Cluster, p *tile.Partition, m, targ
 	return out, nil
 }
 
+// checkTarget validates the target geometry shared by every flow.
+func (c *Config) checkTarget(target *grid.Mat) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if target.H != c.ClipSize || target.W != c.ClipSize {
+		return fmt.Errorf("core: target %dx%d does not match clip %d", target.H, target.W, c.ClipSize)
+	}
+	return nil
+}
+
+// dcSolve is the divide-and-conquer solve+assembly shared by the
+// DivideAndConquer flow and StitchAndHeal's inner pass: every tile
+// optimised independently to its full budget, assembled once with the
+// hard RAS operator of Eq. (6).
+func (c *Config) dcSolve(cl *device.Cluster, p *tile.Partition, target *grid.Mat) (*grid.Mat, error) {
+	params := opt.Params{Iters: c.BaselineIters, LR: c.LR, Stretch: 1, PVWeight: c.PVWeight}
+	tiles, err := c.solveTiles(cl, p, target, target, params, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	w, err := p.Weights(0)
+	if err != nil {
+		return nil, err
+	}
+	return p.Assemble(tiles, w), nil
+}
+
 // MultigridSchwarz runs the paper's full flow on one target clip:
 // Algorithm 1 coarse grids, the staged fine-grid modified additive
 // Schwarz of Section 3.3 with Eq. (14) weighted assembly, and the
 // multi-colour multiplicative refine of Section 3.4.
+//
+// The flow is declared as a stage pipeline — every coarse level, fine
+// Schwarz stage and refine sweep is one engine stage — so checkpoint,
+// resume, progress, cancellation and stage timing all come from
+// internal/pipeline.
 func MultigridSchwarz(cfg Config, target *grid.Mat) (res *Result, err error) {
-	defer recoverInjected(&err)
-	if err := cfg.Validate(); err != nil {
+	defer pipeline.CatchFault(&err)
+	c := &cfg
+	if err := c.checkTarget(target); err != nil {
 		return nil, err
 	}
-	if target.H != cfg.ClipSize || target.W != cfg.ClipSize {
-		return nil, fmt.Errorf("core: target %dx%d does not match clip %d", target.H, target.W, cfg.ClipSize)
-	}
-	c := &cfg
 	cl := c.cluster()
 	simStart := cl.Stats().SimElapsed
-
-	// Algorithm 1, line 4: M ← Z_t.
-	m := target.Clone()
 
 	// Coarse grids: s = s_max, s_max/2, ..., 2. Stitch errors are not
 	// addressed here (line 12 uses the plain Eq. (6) assembly); the
@@ -152,57 +162,43 @@ func MultigridSchwarz(cfg Config, target *grid.Mat) (res *Result, err error) {
 		levels++
 	}
 
-	// Stage accounting for checkpoint/resume: every coarse level, fine
-	// Schwarz stage and refine sweep is one resumable stage.
-	const flowName = "multigrid-schwarz"
-	stageTotal := levels + cfg.FineStages + cfg.RefineIters
-	stageDone, resumeFrom := 0, 0
-	if cfg.Resume != nil {
-		if err := cfg.Resume.validFor(flowName, cfg.ClipSize, stageTotal); err != nil {
-			return nil, err
-		}
-		resumeFrom = cfg.Resume.Stage
-		m = cfg.Resume.Mask.Clone()
-	}
-	// emit snapshots the layout after the stage that just completed.
-	emit := func() {
-		c.checkpoint(Checkpoint{Flow: flowName, Stage: stageDone, Total: stageTotal, Mask: m.Clone()})
-	}
-
+	stages := make([]pipeline.Stage, 0, levels+cfg.FineStages+cfg.RefineIters)
 	level := 0
 	for s := cfg.CoarseScale; s >= 2; s /= 2 {
 		level++
-		if stageDone++; stageDone <= resumeFrom {
-			continue // already completed by the checkpointed run
-		}
-		c.progress("coarse", level, levels)
-		coarseTile := s * cfg.TileSize
-		p, err := tile.Part(cfg.ClipSize, cfg.ClipSize, coarseTile, s*cfg.Margin)
-		if err != nil {
-			return nil, fmt.Errorf("core: coarse grid s=%d: %w", s, err)
-		}
-		iters := cfg.CoarseIters / levels
-		if iters < 1 {
-			iters = 1
-		}
-		params := opt.Params{Iters: iters, LR: cfg.LR, Stretch: s, PVWeight: cfg.PVWeight}
-		tiles, err := c.solveCoarseTiles(cl, p, m, target, s, params)
-		if err != nil {
-			return nil, err
-		}
-		w, err := p.Weights(0) // Eq. (6)
-		if err != nil {
-			return nil, err
-		}
-		m = p.Assemble(tiles, w)
-		// Hand a manufacturable (binary) mask to the next grid: the
-		// bilinear lift leaves gray, wobbly edges that the fine solver
-		// would otherwise spend its whole budget re-sharpening.
-		m.BinarizeInPlace(0.5)
-		if r := cfg.CoarseClean; r > 0 {
-			m = filter.Close(filter.Open(m, r), r)
-		}
-		emit()
+		lvl := level
+		stages = append(stages, pipeline.Stage{
+			Name: "coarse", Iter: lvl, Total: levels,
+			Run: func(_ context.Context, m *grid.Mat) (*grid.Mat, error) {
+				coarseTile := s * cfg.TileSize
+				p, err := tile.Part(cfg.ClipSize, cfg.ClipSize, coarseTile, s*cfg.Margin)
+				if err != nil {
+					return nil, fmt.Errorf("core: coarse grid s=%d: %w", s, err)
+				}
+				iters := cfg.CoarseIters / levels
+				if iters < 1 {
+					iters = 1
+				}
+				params := opt.Params{Iters: iters, LR: cfg.LR, Stretch: s, PVWeight: cfg.PVWeight}
+				tiles, err := c.solveCoarseTiles(cl, p, m, target, s, params)
+				if err != nil {
+					return nil, err
+				}
+				w, err := p.Weights(0) // Eq. (6)
+				if err != nil {
+					return nil, err
+				}
+				m = p.Assemble(tiles, w)
+				// Hand a manufacturable (binary) mask to the next grid: the
+				// bilinear lift leaves gray, wobbly edges that the fine solver
+				// would otherwise spend its whole budget re-sharpening.
+				m.BinarizeInPlace(0.5)
+				if r := cfg.CoarseClean; r > 0 {
+					m = filter.Close(filter.Open(m, r), r)
+				}
+				return m, nil
+			},
+		})
 	}
 
 	// Fine grid: staged modified additive Schwarz with weighted
@@ -223,21 +219,21 @@ func MultigridSchwarz(cfg Config, target *grid.Mat) (res *Result, err error) {
 	perStage := cfg.FineIters / cfg.FineStages
 	extra := cfg.FineIters - perStage*cfg.FineStages
 	for stage := 0; stage < cfg.FineStages; stage++ {
-		if stageDone++; stageDone <= resumeFrom {
-			continue
-		}
-		c.progress("fine", stage+1, cfg.FineStages)
 		iters := perStage
 		if stage == 0 {
 			iters += extra
 		}
-		params := opt.Params{Iters: iters, LR: cfg.LR, Stretch: 1, PVWeight: cfg.PVWeight}
-		tiles, err := c.solveTiles(cl, p, m, target, params, nil, freeze)
-		if err != nil {
-			return nil, err
-		}
-		m = p.Assemble(tiles, weights)
-		emit()
+		stages = append(stages, pipeline.Stage{
+			Name: "fine", Iter: stage + 1, Total: cfg.FineStages,
+			Run: func(_ context.Context, m *grid.Mat) (*grid.Mat, error) {
+				params := opt.Params{Iters: iters, LR: cfg.LR, Stretch: 1, PVWeight: cfg.PVWeight}
+				tiles, err := c.solveTiles(cl, p, m, target, params, nil, freeze)
+				if err != nil {
+					return nil, err
+				}
+				return p.Assemble(tiles, weights), nil
+			},
+		})
 	}
 
 	// Refine: multi-colour multiplicative Schwarz. Same-colour tiles
@@ -245,111 +241,111 @@ func MultigridSchwarz(cfg Config, target *grid.Mat) (res *Result, err error) {
 	// so each colour sees the previous colours' updates.
 	colors := p.Colors()
 	for it := 0; it < cfg.RefineIters; it++ {
-		if stageDone++; stageDone <= resumeFrom {
-			continue
-		}
-		c.progress("refine", it+1, cfg.RefineIters)
-		for _, group := range colors {
-			params := opt.Params{Iters: cfg.RefineVisitIters, LR: cfg.RefineLR, Stretch: 1, PVWeight: cfg.PVWeight, Plain: cfg.RefinePlain}
-			sols, err := c.solveTiles(cl, p, m, target, params, group, freeze)
-			if err != nil {
-				return nil, err
-			}
-			for _, idx := range group {
-				p.BlendInto(m, sols[idx], weights[idx], idx)
-			}
-		}
-		emit()
+		stages = append(stages, pipeline.Stage{
+			Name: "refine", Iter: it + 1, Total: cfg.RefineIters,
+			Run: func(_ context.Context, m *grid.Mat) (*grid.Mat, error) {
+				for _, group := range colors {
+					params := opt.Params{Iters: cfg.RefineVisitIters, LR: cfg.RefineLR, Stretch: 1, PVWeight: cfg.PVWeight, Plain: cfg.RefinePlain}
+					sols, err := c.solveTiles(cl, p, m, target, params, group, freeze)
+					if err != nil {
+						return nil, err
+					}
+					for _, idx := range group {
+						p.BlendInto(m, sols[idx], weights[idx], idx)
+					}
+				}
+				return m, nil
+			},
+		})
 	}
 
+	// Algorithm 1, line 4: M ← Z_t.
+	m, timeline, err := c.engine("multigrid-schwarz", stages).Run(target.Clone())
+	if err != nil {
+		return nil, err
+	}
 	tat := cl.Stats().SimElapsed - simStart
-	return c.evaluate("multigrid-schwarz", m, target, p.StitchLines(), tat, cl), nil
+	return c.evaluate("multigrid-schwarz", m, target, p.StitchLines(), tat, cl, timeline), nil
 }
 
 // DivideAndConquer runs the traditional baseline: every tile optimised
 // independently to its full budget, assembled once with the hard RAS
 // operator of Eq. (6). Margins never see their neighbours, which is
-// what produces the Fig. 1/Fig. 3 stitch discontinuities.
+// what produces the Fig. 1/Fig. 3 stitch discontinuities. The pipeline
+// has a single "solve" stage; a valid checkpoint carries the fully
+// assembled mask, so resuming skips straight to evaluation.
 func DivideAndConquer(cfg Config, target *grid.Mat) (res *Result, err error) {
-	defer recoverInjected(&err)
-	if err := cfg.Validate(); err != nil {
+	defer pipeline.CatchFault(&err)
+	c := &cfg
+	if err := c.checkTarget(target); err != nil {
 		return nil, err
 	}
-	if target.H != cfg.ClipSize || target.W != cfg.ClipSize {
-		return nil, fmt.Errorf("core: target %dx%d does not match clip %d", target.H, target.W, cfg.ClipSize)
-	}
-	c := &cfg
 	cl := c.cluster()
 	simStart := cl.Stats().SimElapsed
 	p, err := tile.Part(cfg.ClipSize, cfg.ClipSize, cfg.TileSize, cfg.Margin)
 	if err != nil {
 		return nil, err
 	}
-	const flowName = "divide-and-conquer"
-	var m *grid.Mat
-	if cfg.Resume != nil {
-		// The baseline has a single stage: a valid checkpoint carries
-		// the fully assembled mask, so only evaluation remains.
-		if err := cfg.Resume.validFor(flowName, cfg.ClipSize, 1); err != nil {
-			return nil, err
-		}
-		m = cfg.Resume.Mask.Clone()
-	} else {
-		c.progress("solve", 1, 1)
-		params := opt.Params{Iters: cfg.BaselineIters, LR: cfg.LR, Stretch: 1, PVWeight: cfg.PVWeight}
-		tiles, err := c.solveTiles(cl, p, target, target, params, nil, nil)
-		if err != nil {
-			return nil, err
-		}
-		w, err := p.Weights(0)
-		if err != nil {
-			return nil, err
-		}
-		m = p.Assemble(tiles, w)
-		c.checkpoint(Checkpoint{Flow: flowName, Stage: 1, Total: 1, Mask: m.Clone()})
+	stages := []pipeline.Stage{{
+		Name: "solve", Iter: 1, Total: 1,
+		Run: func(_ context.Context, _ *grid.Mat) (*grid.Mat, error) {
+			return c.dcSolve(cl, p, target)
+		},
+	}}
+	m, timeline, err := c.engine("divide-and-conquer", stages).Run(target)
+	if err != nil {
+		return nil, err
 	}
 	tat := cl.Stats().SimElapsed - simStart
-	name := flowName + "/" + c.solver().Name()
-	return c.evaluate(name, m, target, p.StitchLines(), tat, cl), nil
+	name := "divide-and-conquer/" + c.solver().Name()
+	return c.evaluate(name, m, target, p.StitchLines(), tat, cl, timeline), nil
 }
 
 // FullChip optimises the whole clip at once (no partitioning) — the
 // Table 1 quality reference. Like the paper we charge no communication
 // overhead: the single job runs with unlimited memory regardless of
 // the cluster's per-device capacity ("the runtime ... is calculated
-// under ideal conditions").
+// under ideal conditions"). Running on the engine makes even this
+// single-stage flow checkpoint/resumable: a kill after the solve
+// restarts at evaluation instead of repaying the whole budget.
 func FullChip(cfg Config, target *grid.Mat) (res *Result, err error) {
-	defer recoverInjected(&err)
-	if err := cfg.Validate(); err != nil {
+	defer pipeline.CatchFault(&err)
+	c := &cfg
+	if err := c.checkTarget(target); err != nil {
 		return nil, err
 	}
-	if target.H != cfg.ClipSize || target.W != cfg.ClipSize {
-		return nil, fmt.Errorf("core: target %dx%d does not match clip %d", target.H, target.W, cfg.ClipSize)
-	}
-	c := &cfg
 	cl := c.cluster()
 	simStart := cl.Stats().SimElapsed
-	c.progress("solve", 1, 1)
-	params := opt.Params{Iters: cfg.BaselineIters, LR: cfg.LR, Stretch: 1, PVWeight: cfg.PVWeight}
-	// One ideal job: the paper charges full-chip ILT no communication
-	// overhead and assumes a device large enough to hold the clip, so
-	// the job bypasses the per-device memory gate by construction
-	// (Pixels = 0 always fits).
-	var m *grid.Mat
-	var mmu sync.Mutex
-	job := device.Job{Work: func(ctx context.Context, _ int) error {
-		p := params
-		p.Ctx = ctx
-		u, err := c.solver().Solve(target, target, p)
-		if err != nil {
-			return err
-		}
-		mmu.Lock()
-		m = u
-		mmu.Unlock()
-		return nil
+	stages := []pipeline.Stage{{
+		Name: "solve", Iter: 1, Total: 1,
+		Run: func(_ context.Context, _ *grid.Mat) (*grid.Mat, error) {
+			params := opt.Params{Iters: cfg.BaselineIters, LR: cfg.LR, Stretch: 1, PVWeight: cfg.PVWeight}
+			// One ideal job: the paper charges full-chip ILT no
+			// communication overhead and assumes a device large enough to
+			// hold the clip, so the job bypasses the per-device memory
+			// gate by construction (Pixels = 0 always fits).
+			var m *grid.Mat
+			var mmu sync.Mutex
+			job := device.Job{Work: func(ctx context.Context, _ int) error {
+				p := params
+				p.Ctx = ctx
+				u, err := c.solver().Solve(target, target, p)
+				if err != nil {
+					return err
+				}
+				mmu.Lock()
+				m = u
+				mmu.Unlock()
+				return nil
+			}}
+			if err := cl.RunCtx(c.ctx(), []device.Job{job}); err != nil {
+				return nil, err
+			}
+			return m, nil
+		},
 	}}
-	if err := cl.RunCtx(c.ctx(), []device.Job{job}); err != nil {
+	m, timeline, err := c.engine("full-chip", stages).Run(target)
+	if err != nil {
 		return nil, err
 	}
 	tat := cl.Stats().SimElapsed - simStart
@@ -360,5 +356,5 @@ func FullChip(cfg Config, target *grid.Mat) (res *Result, err error) {
 	if err != nil {
 		return nil, err
 	}
-	return c.evaluate("full-chip", m, target, p.StitchLines(), tat, cl), nil
+	return c.evaluate("full-chip", m, target, p.StitchLines(), tat, cl, timeline), nil
 }

@@ -8,6 +8,7 @@ import (
 	"mgsilt/internal/device"
 	"mgsilt/internal/grid"
 	"mgsilt/internal/opt"
+	"mgsilt/internal/pipeline"
 	"mgsilt/internal/tile"
 )
 
@@ -19,55 +20,64 @@ import (
 // carries them in AuxLines so the Fig. 7 bench can show stitch errors
 // reappearing there. FineIters is used as the healing budget per
 // window (healing is a partial re-optimisation, not a full solve).
+//
+// The flow is one pipeline: stage 1 is the inner divide-and-conquer
+// solve+assembly, then one stage per healed stitch line — so a killed
+// heal run resumes after its last healed line instead of repaying the
+// whole baseline budget. The healing windows' new boundaries are pure
+// geometry (independent of the solved masks), so AuxLines are complete
+// even on a resumed run.
 func StitchAndHeal(cfg Config, target *grid.Mat) (res *Result, err error) {
-	defer recoverInjected(&err)
-	dc, err := DivideAndConquer(cfg, target)
-	if err != nil {
+	defer pipeline.CatchFault(&err)
+	c := &cfg
+	if err := c.checkTarget(target); err != nil {
 		return nil, err
 	}
-	c := &cfg
 	cl := c.cluster()
 	simStart := cl.Stats().SimElapsed
-	m := dc.Mask.Clone()
 
 	p, err := tile.Part(cfg.ClipSize, cfg.ClipSize, cfg.TileSize, cfg.Margin)
 	if err != nil {
 		return nil, err
 	}
 	lines := p.StitchLines()
-	var aux []tile.StitchLine
-	for i, line := range lines {
-		c.progress("heal", i+1, len(lines))
-		healed, newEdges, err := c.healLine(cl, m, target, line)
-		if err != nil {
-			return nil, err
-		}
-		m = healed
-		aux = append(aux, newEdges...)
-	}
-	tat := dc.TAT + cl.Stats().SimElapsed - simStart
 
-	res = c.evaluate("stitch-and-heal", m, target, lines, tat, cl)
-	res.AuxLines = aux
+	stages := make([]pipeline.Stage, 0, 1+len(lines))
+	stages = append(stages, pipeline.Stage{
+		Name: "solve", Iter: 1, Total: 1,
+		Run: func(_ context.Context, _ *grid.Mat) (*grid.Mat, error) {
+			return c.dcSolve(cl, p, target)
+		},
+	})
+	for i, line := range lines {
+		stages = append(stages, pipeline.Stage{
+			Name: "heal", Iter: i + 1, Total: len(lines),
+			Run: func(_ context.Context, m *grid.Mat) (*grid.Mat, error) {
+				return c.healLine(cl, m, target, line)
+			},
+		})
+	}
+
+	m, timeline, err := c.engine("stitch-and-heal", stages).Run(target)
+	if err != nil {
+		return nil, err
+	}
+	tat := cl.Stats().SimElapsed - simStart
+
+	res = c.evaluate("stitch-and-heal", m, target, lines, tat, cl, timeline)
+	for _, line := range lines {
+		res.AuxLines = append(res.AuxLines, c.healEdges(line)...)
+	}
 	return res, nil
 }
 
 // healLine re-optimises windows along one stitch line and pastes back
-// the central band. It returns the updated layout and the new
-// boundaries created by the paste.
-func (c *Config) healLine(cl *device.Cluster, m, target *grid.Mat, line tile.StitchLine) (*grid.Mat, []tile.StitchLine, error) {
+// the central band, returning the updated layout.
+func (c *Config) healLine(cl *device.Cluster, m, target *grid.Mat, line tile.StitchLine) (*grid.Mat, error) {
 	size := c.ClipSize
 	t := c.TileSize
 	band := c.HealBand
-
-	// Window origin perpendicular to the line, clamped into the clip.
-	perp := line.Pos - t/2
-	if perp < 0 {
-		perp = 0
-	}
-	if perp+t > size {
-		perp = size - t
-	}
+	perp := healPerp(line, t, size)
 
 	out := m.Clone()
 	var mu sync.Mutex
@@ -110,11 +120,34 @@ func (c *Config) healLine(cl *device.Cluster, m, target *grid.Mat, line tile.Sti
 		})
 	}
 	if err := cl.RunCtx(c.ctx(), jobs); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
+	return out, nil
+}
 
-	// The band edges are the new partition boundaries of Fig. 7, plus
-	// the joints between stacked windows inside the band.
+// healPerp is the healing window origin perpendicular to the line,
+// clamped into the clip.
+func healPerp(line tile.StitchLine, t, size int) int {
+	perp := line.Pos - t/2
+	if perp < 0 {
+		perp = 0
+	}
+	if perp+t > size {
+		perp = size - t
+	}
+	return perp
+}
+
+// healEdges returns the new partition boundaries created by healing
+// one line: the band edges of Fig. 7 plus the joints between stacked
+// windows inside the band. The edges are pure geometry — they depend
+// only on the line, the band width and the window size, never on the
+// solved masks — which is what lets a resumed run reconstruct the full
+// AuxLines list without re-healing skipped lines.
+func (c *Config) healEdges(line tile.StitchLine) []tile.StitchLine {
+	size := c.ClipSize
+	t := c.TileSize
+	band := c.HealBand
 	var edges []tile.StitchLine
 	if line.Vertical {
 		edges = append(edges,
@@ -131,5 +164,5 @@ func (c *Config) healLine(cl *device.Cluster, m, target *grid.Mat, line tile.Sti
 			edges = append(edges, tile.StitchLine{Vertical: true, Pos: along, Lo: line.Pos - band, Hi: line.Pos + band})
 		}
 	}
-	return out, edges, nil
+	return edges
 }

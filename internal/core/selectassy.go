@@ -1,12 +1,13 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"math"
 
 	"mgsilt/internal/filter"
 	"mgsilt/internal/grid"
 	"mgsilt/internal/opt"
+	"mgsilt/internal/pipeline"
 	"mgsilt/internal/tile"
 )
 
@@ -20,63 +21,69 @@ import (
 // winning tile changes — the reason [6] and this paper's weighted
 // Schwarz approach superseded it.
 func OverlapSelect(cfg Config, target *grid.Mat) (res *Result, err error) {
-	defer recoverInjected(&err)
-	if err := cfg.Validate(); err != nil {
+	defer pipeline.CatchFault(&err)
+	c := &cfg
+	if err := c.checkTarget(target); err != nil {
 		return nil, err
 	}
-	if target.H != cfg.ClipSize || target.W != cfg.ClipSize {
-		return nil, fmt.Errorf("core: target %dx%d does not match clip %d", target.H, target.W, cfg.ClipSize)
-	}
-	c := &cfg
 	cl := c.cluster()
 	simStart := cl.Stats().SimElapsed
 	p, err := tile.Part(cfg.ClipSize, cfg.ClipSize, cfg.TileSize, cfg.Margin)
 	if err != nil {
 		return nil, err
 	}
-	c.progress("solve", 1, 1)
-	params := opt.Params{Iters: cfg.BaselineIters, LR: cfg.LR, Stretch: 1, PVWeight: cfg.PVWeight}
-	tiles, err := c.solveTiles(cl, p, target, target, params, nil, nil)
+	stages := []pipeline.Stage{{
+		Name: "solve", Iter: 1, Total: 1,
+		Run: func(_ context.Context, _ *grid.Mat) (*grid.Mat, error) {
+			params := opt.Params{Iters: cfg.BaselineIters, LR: cfg.LR, Stretch: 1, PVWeight: cfg.PVWeight}
+			tiles, err := c.solveTiles(cl, p, target, target, params, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+
+			// Per-tile smoothed print-error fields: |σ-resist(I) − Z_t|²,
+			// box-filtered so the selection compares neighbourhood quality
+			// rather than single pixels.
+			errFields := make([]*grid.Mat, len(tiles))
+			boxR := cfg.Margin / 2
+			if boxR < 1 {
+				boxR = 1
+			}
+			for i, s := range p.Tiles {
+				aerial := cfg.Sim.Aerial(tiles[i], cfg.Sim.Nominal())
+				z := cfg.Sim.SigmoidResist(aerial, 1)
+				tgt := target.Crop(s.Y0, s.X0, p.Tile, p.Tile)
+				e := grid.NewMat(p.Tile, p.Tile)
+				for j := range e.Data {
+					d := z.Data[j] - tgt.Data[j]
+					e.Data[j] = d * d
+				}
+				errFields[i] = filter.Box(e, boxR)
+			}
+
+			// Per-pixel selection among covering tiles.
+			out := grid.NewMat(cfg.ClipSize, cfg.ClipSize)
+			best := grid.NewMat(cfg.ClipSize, cfg.ClipSize).Fill(math.Inf(1))
+			for i, s := range p.Tiles {
+				for y := 0; y < p.Tile; y++ {
+					ly := s.Y0 + y
+					for x := 0; x < p.Tile; x++ {
+						lx := s.X0 + x
+						if e := errFields[i].At(y, x); e < best.At(ly, lx) {
+							best.Set(ly, lx, e)
+							out.Set(ly, lx, tiles[i].At(y, x))
+						}
+					}
+				}
+			}
+			return out, nil
+		},
+	}}
+	m, timeline, err := c.engine("overlap-select", stages).Run(target)
 	if err != nil {
 		return nil, err
 	}
-
-	// Per-tile smoothed print-error fields: |σ-resist(I) − Z_t|²,
-	// box-filtered so the selection compares neighbourhood quality
-	// rather than single pixels.
-	errFields := make([]*grid.Mat, len(tiles))
-	boxR := cfg.Margin / 2
-	if boxR < 1 {
-		boxR = 1
-	}
-	for i, s := range p.Tiles {
-		aerial := cfg.Sim.Aerial(tiles[i], cfg.Sim.Nominal())
-		z := cfg.Sim.SigmoidResist(aerial, 1)
-		tgt := target.Crop(s.Y0, s.X0, p.Tile, p.Tile)
-		e := grid.NewMat(p.Tile, p.Tile)
-		for j := range e.Data {
-			d := z.Data[j] - tgt.Data[j]
-			e.Data[j] = d * d
-		}
-		errFields[i] = filter.Box(e, boxR)
-	}
-
-	// Per-pixel selection among covering tiles.
-	out := grid.NewMat(cfg.ClipSize, cfg.ClipSize)
-	best := grid.NewMat(cfg.ClipSize, cfg.ClipSize).Fill(math.Inf(1))
-	for i, s := range p.Tiles {
-		for y := 0; y < p.Tile; y++ {
-			ly := s.Y0 + y
-			for x := 0; x < p.Tile; x++ {
-				lx := s.X0 + x
-				if e := errFields[i].At(y, x); e < best.At(ly, lx) {
-					best.Set(ly, lx, e)
-					out.Set(ly, lx, tiles[i].At(y, x))
-				}
-			}
-		}
-	}
 	tat := cl.Stats().SimElapsed - simStart
 	name := "overlap-select/" + c.solver().Name()
-	return c.evaluate(name, out, target, p.StitchLines(), tat, cl), nil
+	return c.evaluate(name, m, target, p.StitchLines(), tat, cl, timeline), nil
 }

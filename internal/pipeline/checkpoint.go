@@ -1,0 +1,139 @@
+package pipeline
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"mgsilt/internal/grid"
+)
+
+// Checkpoint is a stage-level snapshot of a running flow: the working
+// layout after Stage completed stages. It is what the job service
+// keeps in memory and what cmd/iltrun persists to disk so a killed run
+// resumes from its last completed stage instead of from scratch.
+type Checkpoint struct {
+	// Flow is the flow that produced the snapshot ("multigrid-schwarz",
+	// "divide-and-conquer", "full-chip", "stitch-and-heal",
+	// "overlap-select"); resume validates it.
+	Flow string
+	// Stage counts completed engine stages, 1-based.
+	Stage int
+	// Total is the schedule's stage count, for progress reporting.
+	Total int
+	// Mask is the working layout after Stage stages (a clone; safe to
+	// retain).
+	Mask *grid.Mat
+}
+
+// ValidFor checks that the checkpoint can seed the given flow and
+// geometry.
+func (ck *Checkpoint) ValidFor(flow string, clip, total int) error {
+	if ck.Flow != flow {
+		return fmt.Errorf("pipeline: checkpoint from flow %q cannot resume %q", ck.Flow, flow)
+	}
+	if ck.Mask == nil || ck.Mask.H != clip || ck.Mask.W != clip {
+		return fmt.Errorf("pipeline: checkpoint mask does not match clip %d", clip)
+	}
+	if ck.Stage < 1 || ck.Stage > total {
+		return fmt.Errorf("pipeline: checkpoint stage %d out of range 1..%d", ck.Stage, total)
+	}
+	return nil
+}
+
+// Disk format: a line-oriented versioned header followed by the raw
+// mask payload (H·W float64 values, little-endian, row-major). The
+// header is human-inspectable (`head -4 run.ckpt`) and the version
+// line lets the format evolve without silently misreading old files.
+const (
+	checkpointMagic = "mgsilt-checkpoint v1"
+	// MaxCheckpointSide caps the mask dimensions accepted from disk,
+	// like imgio's PGM reader: a corrupt or hostile header must not
+	// provoke a multi-gigabyte allocation.
+	MaxCheckpointSide = 1 << 14
+)
+
+// WriteCheckpoint serialises the checkpoint.
+func WriteCheckpoint(w io.Writer, ck *Checkpoint) error {
+	if ck == nil || ck.Mask == nil {
+		return fmt.Errorf("pipeline: cannot write empty checkpoint")
+	}
+	if strings.ContainsAny(ck.Flow, " \n") || ck.Flow == "" {
+		return fmt.Errorf("pipeline: flow name %q not serialisable", ck.Flow)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s\nflow %s\nstage %d %d\nmask %d %d\n",
+		checkpointMagic, ck.Flow, ck.Stage, ck.Total, ck.Mask.H, ck.Mask.W)
+	buf := make([]byte, 8)
+	for _, v := range ck.Mask.Data {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCheckpoint parses a checkpoint previously written by
+// WriteCheckpoint, validating the header and bounding the payload.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	br := bufio.NewReader(r)
+	line := func() (string, error) {
+		s, err := br.ReadString('\n')
+		if err != nil {
+			return "", fmt.Errorf("pipeline: truncated checkpoint header: %w", err)
+		}
+		return strings.TrimSuffix(s, "\n"), nil
+	}
+	magic, err := line()
+	if err != nil {
+		return nil, err
+	}
+	if magic != checkpointMagic {
+		return nil, fmt.Errorf("pipeline: not a checkpoint file (header %q)", magic)
+	}
+	ck := &Checkpoint{}
+	fl, err := line()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fmt.Sscanf(fl, "flow %s", &ck.Flow); err != nil {
+		return nil, fmt.Errorf("pipeline: bad flow line %q", fl)
+	}
+	sl, err := line()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fmt.Sscanf(sl, "stage %d %d", &ck.Stage, &ck.Total); err != nil {
+		return nil, fmt.Errorf("pipeline: bad stage line %q", sl)
+	}
+	if ck.Stage < 1 || ck.Total < ck.Stage {
+		return nil, fmt.Errorf("pipeline: checkpoint stage %d/%d out of range", ck.Stage, ck.Total)
+	}
+	ml, err := line()
+	if err != nil {
+		return nil, err
+	}
+	var h, w int
+	if _, err := fmt.Sscanf(ml, "mask %d %d", &h, &w); err != nil {
+		return nil, fmt.Errorf("pipeline: bad mask line %q", ml)
+	}
+	if h < 1 || w < 1 || h > MaxCheckpointSide || w > MaxCheckpointSide {
+		return nil, fmt.Errorf("pipeline: checkpoint mask %dx%d out of bounds (max side %d)", h, w, MaxCheckpointSide)
+	}
+	ck.Mask = grid.NewMat(h, w)
+	buf := make([]byte, 8)
+	for i := range ck.Mask.Data {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("pipeline: truncated checkpoint payload at value %d/%d: %w", i, h*w, err)
+		}
+		ck.Mask.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("pipeline: trailing data after checkpoint payload")
+	}
+	return ck, nil
+}

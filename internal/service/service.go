@@ -13,8 +13,10 @@
 // client's deadline/cancellation, threaded through core → opt → device
 // so a cancelled HTTP job stops mid-iteration instead of running to
 // completion. Flow progress is captured through core.Config.Progress
-// and surfaced via polling, and the whole system is observable through
-// /healthz and Prometheus-text /metrics.
+// and surfaced via polling; the stage-pipeline engine's per-stage
+// wall times feed both the job's stage_timeline in status JSON and
+// the ilt_stage_duration_seconds histogram, and the whole system is
+// observable through /healthz and Prometheus-text /metrics.
 //
 // HTTP surface (see Handler):
 //
@@ -45,6 +47,7 @@ import (
 	"mgsilt/internal/litho"
 	"mgsilt/internal/opt"
 	"mgsilt/internal/parallel"
+	"mgsilt/internal/pipeline"
 )
 
 // State is a job's lifecycle state.
@@ -110,6 +113,18 @@ type Progress struct {
 	Units int    `json:"units"`
 }
 
+// StageTime is one entry of a job's stage timeline: a completed
+// pipeline-engine stage (or the final "inspect" evaluation) with its
+// measured wall time. The timeline is an append-only execution log —
+// on a resumed job it spans attempts, and resume-skipped stages do not
+// reappear.
+type StageTime struct {
+	Stage  string  `json:"stage"`
+	Iter   int     `json:"iter"`
+	Total  int     `json:"total"`
+	WallMS float64 `json:"wall_ms"`
+}
+
 // Status is the externally visible job record.
 type Status struct {
 	ID       string   `json:"id"`
@@ -127,10 +142,13 @@ type Status struct {
 	// CheckpointStage is the latest stage the flow has checkpointed
 	// (0 until the first stage completes); a Resume would restart
 	// after this stage.
-	CheckpointStage int        `json:"checkpoint_stage"`
-	CreatedAt       time.Time  `json:"created_at"`
-	StartedAt       *time.Time `json:"started_at,omitempty"`
-	FinishedAt      *time.Time `json:"finished_at,omitempty"`
+	CheckpointStage int `json:"checkpoint_stage"`
+	// StageTimeline is the engine-measured per-stage wall-time log of
+	// the job's executed stages, in execution order across attempts.
+	StageTimeline []StageTime `json:"stage_timeline,omitempty"`
+	CreatedAt     time.Time   `json:"created_at"`
+	StartedAt     *time.Time  `json:"started_at,omitempty"`
+	FinishedAt    *time.Time  `json:"finished_at,omitempty"`
 }
 
 // job is the internal record; mutable fields are guarded by Server.mu.
@@ -147,7 +165,8 @@ type job struct {
 	result      *core.Result
 	attempts    int
 	resumedFrom *int
-	checkpoint  *core.Checkpoint // latest stage snapshot (mgs/dc flows)
+	checkpoint  *core.Checkpoint // latest stage snapshot (all flows)
+	timeline    []StageTime      // engine-fed stage execution log
 }
 
 func (j *job) status() Status {
@@ -166,6 +185,9 @@ func (j *job) status() Status {
 	}
 	if j.checkpoint != nil {
 		st.CheckpointStage = j.checkpoint.Stage
+	}
+	if len(j.timeline) > 0 {
+		st.StageTimeline = append([]StageTime(nil), j.timeline...)
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -373,11 +395,12 @@ var (
 	ErrNotResumable = errors.New("service: only failed or cancelled jobs can be resumed")
 )
 
-// Resume re-enqueues a failed or cancelled job. If the job's flow
-// checkpointed (mgs/dc emit a snapshot after every completed stage),
-// the next attempt restarts after the last completed stage instead of
-// from scratch, and the status reports resumed_from; otherwise it
-// simply reruns. Attempt and progress history is preserved.
+// Resume re-enqueues a failed or cancelled job. Every flow runs on
+// the stage-pipeline engine and emits a snapshot after each completed
+// stage, so the next attempt restarts after the last completed stage
+// instead of from scratch, and the status reports resumed_from; a job
+// killed before its first checkpoint simply reruns. Attempt, progress
+// and stage-timeline history is preserved.
 func (s *Server) Resume(id string) (Status, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -555,16 +578,7 @@ func (s *Server) runJob(j *job, cl *device.Cluster) {
 	// a previous job's hard faults return to the pool.
 	cl.Revive()
 
-	// Stage latency accounting: each progress event closes the
-	// preceding stage's interval.
-	var lastStage string
-	var lastAt time.Time
 	progress := func(stage string, iter, total int) {
-		now := time.Now()
-		if lastStage != "" {
-			s.metrics.observeStage(lastStage, now.Sub(lastAt))
-		}
-		lastStage, lastAt = stage, now
 		s.mu.Lock()
 		j.progress.Stage = stage
 		j.progress.Iter = iter
@@ -583,11 +597,25 @@ func (s *Server) runJob(j *job, cl *device.Cluster) {
 		s.mu.Unlock()
 	}
 
-	res, err := s.execute(ctx, spec, cl, progress, resume, onCheckpoint)
-	now := time.Now()
-	if lastStage != "" {
-		s.metrics.observeStage(lastStage, now.Sub(lastAt))
+	// Stage latency accounting comes straight from the pipeline
+	// engine: each executed stage (and the final inspection) reports
+	// its measured wall time, which feeds both the job's status
+	// timeline and the ilt_stage_duration_seconds histogram — no
+	// ad-hoc interval reconstruction from progress events.
+	onStage := func(t pipeline.StageTiming) {
+		s.metrics.observeStage(t.Name, t.Wall)
+		s.mu.Lock()
+		j.timeline = append(j.timeline, StageTime{
+			Stage:  t.Name,
+			Iter:   t.Iter,
+			Total:  t.Total,
+			WallMS: float64(t.Wall.Microseconds()) / 1e3,
+		})
+		s.mu.Unlock()
 	}
+
+	res, err := s.execute(ctx, spec, cl, progress, resume, onCheckpoint, onStage)
+	now := time.Now()
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -609,7 +637,7 @@ func (s *Server) runJob(j *job, cl *device.Cluster) {
 
 // execute builds the environment (simulator, clip, config) and runs
 // the selected flow under ctx.
-func (s *Server) execute(ctx context.Context, spec JobSpec, cl *device.Cluster, progress func(string, int, int), resume *core.Checkpoint, onCheckpoint func(core.Checkpoint)) (*core.Result, error) {
+func (s *Server) execute(ctx context.Context, spec JobSpec, cl *device.Cluster, progress func(string, int, int), resume *core.Checkpoint, onCheckpoint func(core.Checkpoint), onStage func(pipeline.StageTiming)) (*core.Result, error) {
 	sim, err := s.simulator(spec.N)
 	if err != nil {
 		return nil, err
@@ -622,13 +650,11 @@ func (s *Server) execute(ctx context.Context, spec JobSpec, cl *device.Cluster, 
 	cfg.Cluster = cl
 	cfg.Ctx = ctx
 	cfg.Progress = progress
-	// Checkpoint/resume is wired only for the flows that stage it
-	// (mgs, dc); heal runs dc internally and must not inherit a stale
-	// snapshot.
-	if spec.Flow == "mgs" || spec.Flow == "dc" {
-		cfg.Checkpoint = onCheckpoint
-		cfg.Resume = resume
-	}
+	cfg.StageDone = onStage
+	// Every flow runs on the stage-pipeline engine, so every flow
+	// checkpoints and resumes uniformly.
+	cfg.Checkpoint = onCheckpoint
+	cfg.Resume = resume
 	switch spec.Solver {
 	case "levelset":
 		cfg.Solver = opt.NewLevelSet(sim)

@@ -411,6 +411,45 @@ func TestMetricsAndHealth(t *testing.T) {
 	}
 }
 
+// TestStageTimelineInStatus pins the engine-fed stage timeline a done
+// job exposes in its status JSON: the exact stage sequence of the mgs
+// flow at this iteration budget, closed by the "inspect" evaluation,
+// with a non-negative measured wall time per entry.
+func TestStageTimelineInStatus(t *testing.T) {
+	_, ts := newTestServer(t, testOpts())
+	sr := postJob(t, ts, smallSpec())
+
+	// A queued job has no timeline yet (omitempty keeps it out of the
+	// JSON entirely).
+	if st := getStatus(t, ts, sr.Job.ID); st.State == StateQueued && st.StageTimeline != nil {
+		t.Fatalf("queued job already has a timeline: %+v", st.StageTimeline)
+	}
+
+	st := waitFor(t, ts, sr.Job.ID, 60*time.Second, func(st Status) bool { return st.State.Terminal() })
+	if st.State != StateDone {
+		t.Fatalf("job finished %s (%s)", st.State, st.Error)
+	}
+	want := []StageTime{
+		{Stage: "coarse", Iter: 1, Total: 1},
+		{Stage: "fine", Iter: 1, Total: 2},
+		{Stage: "fine", Iter: 2, Total: 2},
+		{Stage: "refine", Iter: 1, Total: 1},
+		{Stage: "inspect", Iter: 1, Total: 1},
+	}
+	if len(st.StageTimeline) != len(want) {
+		t.Fatalf("timeline %+v, want %d stages", st.StageTimeline, len(want))
+	}
+	for i, w := range want {
+		got := st.StageTimeline[i]
+		if got.Stage != w.Stage || got.Iter != w.Iter || got.Total != w.Total {
+			t.Fatalf("timeline[%d] = %+v, want %s %d/%d", i, got, w.Stage, w.Iter, w.Total)
+		}
+		if got.WallMS < 0 {
+			t.Fatalf("timeline[%d] has negative wall time: %+v", i, got)
+		}
+	}
+}
+
 func fetchMask(t *testing.T, ts *httptest.Server, id string) []byte {
 	t.Helper()
 	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/mask.pgm")
@@ -500,6 +539,15 @@ func TestResumeFromCheckpoint(t *testing.T) {
 	}
 	if st.ResumedFrom == nil || *st.ResumedFrom < 1 {
 		t.Fatalf("finished job lost resumed_from: %+v", st)
+	}
+	// The stage timeline is an append-only execution log across both
+	// attempts: the first attempt's completed stages stay in front and
+	// the resumed attempt closes it with "inspect".
+	if n := len(st.StageTimeline); n == 0 || st.StageTimeline[n-1].Stage != "inspect" {
+		t.Fatalf("resumed job timeline malformed: %+v", st.StageTimeline)
+	}
+	if st.StageTimeline[0].Stage != "coarse" || st.StageTimeline[0].Iter != 1 {
+		t.Fatalf("first attempt's stages missing from timeline: %+v", st.StageTimeline)
 	}
 
 	// The resumed mask must match an uninterrupted run bit for bit.
