@@ -9,10 +9,13 @@
 //	penalty  — Section 2.3 tile-assembly L2 penalty
 //	ablation — design-choice sweep of the multigrid-Schwarz flow
 //	mrc      — manufacturability-rule violations at stitch lines
+//	cache    — shared tile-cache cold vs warm on a repeated-cell clip
 //	all      — everything above
 //
 // Scale is selected with -scale (small | default | full); "full" is
-// the paper-shaped 20-clip run.
+// the paper-shaped 20-clip run. -experiment accepts a comma-separated
+// list (e.g. "table1,cache"), which is how the CI gate records both
+// the Table 1 metrics and the cache hit rate in one document.
 //
 // With -json the run also writes a benchfmt trajectory document
 // (BENCH_*.json) carrying full provenance — scale, optics, compute
@@ -40,7 +43,7 @@ import (
 func main() {
 	var (
 		scaleName  = flag.String("scale", "small", "experiment scale: small | default | full")
-		experiment = flag.String("experiment", "table1", "table1 | fig6 | fig7 | fig8 | speedup | penalty | ablation | mrc | all")
+		experiment = flag.String("experiment", "table1", "comma-separated list of table1 | fig6 | fig7 | fig8 | speedup | penalty | ablation | mrc | cache, or all")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		jsonPath   = flag.String("json", "", "also write machine-readable per-method metrics JSON to this file")
 		verbose    = flag.Bool("v", false, "print per-run progress")
@@ -187,6 +190,16 @@ func main() {
 				fatal(err)
 			}
 			emit(name, "MRC: rule violations at stitch lines", res.Render(), nil)
+		case "cache":
+			res, err := env.RunCache(progress)
+			if err != nil {
+				fatal(err)
+			}
+			if *jsonPath != "" {
+				hr := res.WarmHitRate()
+				doc.CacheHitRate = &hr
+			}
+			emit(name, "Serving: shared tile cache, cold vs warm", res.Render(), nil)
 		default:
 			fmt.Fprintf(os.Stderr, "iltbench: unknown experiment %q\n", name)
 			os.Exit(2)
@@ -194,11 +207,13 @@ func main() {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"table1", "fig6", "fig7", "fig8", "speedup", "penalty", "ablation", "mrc"} {
+		for _, name := range []string{"table1", "fig6", "fig7", "fig8", "speedup", "penalty", "ablation", "mrc", "cache"} {
 			run(name)
 		}
 	} else {
-		run(*experiment)
+		for _, name := range strings.Split(*experiment, ",") {
+			run(strings.TrimSpace(name))
+		}
 	}
 
 	if *jsonPath != "" {

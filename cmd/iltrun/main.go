@@ -18,6 +18,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"mgsilt/internal/cache"
 	"mgsilt/internal/core"
 	"mgsilt/internal/device"
 	"mgsilt/internal/fault"
@@ -30,6 +31,7 @@ import (
 	"mgsilt/internal/opt"
 	"mgsilt/internal/parallel"
 	"mgsilt/internal/pipeline"
+	"mgsilt/internal/sched"
 )
 
 func main() {
@@ -48,6 +50,10 @@ func main() {
 		ckptFile  = flag.String("checkpoint-file", "", "persist each completed stage's checkpoint to this file (atomic replace), so a killed run can be resumed")
 		resume    = flag.String("resume-file", "", "resume from a checkpoint file written by -checkpoint-file (flow and clip geometry must match)")
 		times     = flag.Bool("stage-times", true, "print the engine's per-stage wall-time timeline")
+		cacheMB   = flag.Int64("cache-mb", 0, "tile-result cache RAM budget in MiB (0 disables unless -cache-dir set)")
+		cacheDir  = flag.String("cache-dir", "", "tile-cache disk spill directory (enables the cache; a warm dir short-circuits repeated runs)")
+		batchSize = flag.Int("batch-size", 0, "tile batch scheduler flush threshold (<2 disables batching)")
+		repeat    = flag.Bool("repeat-cells", false, "optimise a repeated standard-cell clip (layout.GenerateRepeat) instead of random routing — the workload the tile cache accelerates")
 	)
 	flag.Parse()
 	if *workers > 0 {
@@ -83,6 +89,12 @@ func main() {
 		if clip.Target.H != clipSize {
 			fatal(fmt.Errorf("rects clip is %d px, need %d (= 2N)", clip.Target.H, clipSize))
 		}
+	} else if *repeat {
+		var err error
+		clip, err = layout.GenerateRepeat(layout.RepeatConfig{Size: clipSize, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
 	} else {
 		var err error
 		clip, err = layout.Generate(layout.DefaultConfig(clipSize, *seed))
@@ -98,6 +110,16 @@ func main() {
 	}
 	if *faultRate < 0 || *faultHard < 0 || *faultRate+*faultHard > 1 {
 		fatal(fmt.Errorf("fault rates %g/%g invalid (each >= 0, sum <= 1)", *faultRate, *faultHard))
+	}
+	if *cacheMB > 0 || *cacheDir != "" {
+		tc, err := cache.New(cache.Options{MaxBytes: *cacheMB << 20, Dir: *cacheDir})
+		if err != nil {
+			fatal(err)
+		}
+		cfg.TileCache = tc
+	}
+	if *batchSize >= 2 {
+		cfg.Batch = sched.New(sched.Options{BatchSize: *batchSize})
 	}
 	chaos := *faultRate > 0 || *faultHard > 0
 	if chaos {
@@ -164,6 +186,16 @@ func main() {
 	if chaos {
 		fmt.Printf("chaos        : %d retries, %d device(s) quarantined (reproduce with -fault-seed %d -fault-rate %g -fault-hard %g)\n",
 			res.Stats.Retries, res.Stats.Quarantined, *faultSeed, *faultRate, *faultHard)
+	}
+	if cfg.TileCache != nil {
+		cs := cfg.TileCache.Stats()
+		fmt.Printf("cache        : %.1f%% hit rate (%d ram + %d disk hits, %d misses, %d merged; %d entries, %.1f MiB)\n",
+			100*cs.HitRate(), cs.Hits, cs.DiskHits, cs.Misses, cs.Merged, cs.Entries, float64(cs.Bytes)/(1<<20))
+	}
+	if cfg.Batch != nil {
+		bs := cfg.Batch.Stats()
+		fmt.Printf("batch        : %d solves in %d flushes (%d shared a batch, largest %d)\n",
+			bs.Requests, bs.Batches, bs.Batched, bs.MaxBatch)
 	}
 	if *times && len(res.Timeline) > 0 {
 		fmt.Printf("stages       : %d executed\n", len(res.Timeline))

@@ -46,6 +46,11 @@ func main() {
 		compute   = flag.Int("compute-workers", 0, "process-wide compute pool width for FFT/convolution fan-out (0 = ILT_WORKERS env or GOMAXPROCS)")
 		faultRate = flag.Float64("fault-rate", 0, "chaos: per-attempt transient fault probability at the device.run site (0 disables)")
 		faultSeed = flag.Int64("fault-seed", 1, "chaos: deterministic fault-schedule seed (used with -fault-rate)")
+		cacheMB   = flag.Int64("cache-mb", 0, "shared tile-result cache RAM budget in MiB (0 disables unless -cache-dir set)")
+		cacheDir  = flag.String("cache-dir", "", "tile-cache disk spill directory (enables the cache; survives restarts)")
+		batchSize = flag.Int("batch-size", 0, "cross-job batch scheduler flush threshold (<2 disables batching)")
+		batchWait = flag.Duration("batch-wait", 0, "max time a tile waits for batch peers (0 = scheduler default)")
+		stateDir  = flag.String("state-dir", "", "durable job-queue journal directory; pending jobs resume after a restart")
 	)
 	flag.Parse()
 
@@ -58,6 +63,11 @@ func main() {
 		ComputeWorkers:   *compute,
 		FaultRate:        *faultRate,
 		FaultSeed:        *faultSeed,
+		CacheBytes:       *cacheMB << 20,
+		CacheDir:         *cacheDir,
+		BatchSize:        *batchSize,
+		BatchWait:        *batchWait,
+		StateDir:         *stateDir,
 	})
 	if err != nil {
 		fatal(err)

@@ -15,14 +15,31 @@ import (
 
 func main() {
 	var (
-		count  = flag.Int("count", 20, "number of clips")
-		size   = flag.Int("size", 256, "clip side length in pixels")
-		seed   = flag.Int64("seed", 1000, "suite base seed")
-		outDir = flag.String("out", "clips", "output directory")
+		count   = flag.Int("count", 20, "number of clips")
+		size    = flag.Int("size", 256, "clip side length in pixels")
+		seed    = flag.Int64("seed", 1000, "suite base seed")
+		outDir  = flag.String("out", "clips", "output directory")
+		repeat  = flag.Bool("repeat-cells", false, "generate repeated standard-cell clips instead of random routing")
+		cell    = flag.Int("cell", 32, "repeat-cells: cell placement pitch in pixels")
+		library = flag.Int("library", 3, "repeat-cells: distinct cells in the library")
 	)
 	flag.Parse()
 
-	clips, err := layout.Suite(*count, *size, *seed)
+	var clips []*layout.Clip
+	var err error
+	if *repeat {
+		for i := 0; i < *count; i++ {
+			c, err := layout.GenerateRepeat(layout.RepeatConfig{
+				Size: *size, Seed: *seed + int64(i) + 1, Cell: *cell, Library: *library,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			clips = append(clips, c)
+		}
+	} else {
+		clips, err = layout.Suite(*count, *size, *seed)
+	}
 	if err != nil {
 		fatal(err)
 	}

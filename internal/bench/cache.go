@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"mgsilt/internal/cache"
+	"mgsilt/internal/core"
+	"mgsilt/internal/device"
+	"mgsilt/internal/layout"
+	"mgsilt/internal/report"
+)
+
+// CacheRun is one phase of the serving-cache experiment.
+type CacheRun struct {
+	Phase   string
+	TAT     time.Duration
+	Jobs    int // device jobs dispatched (cache hits dispatch none)
+	Stats   cache.Stats
+	HitRate float64
+}
+
+// CacheResult is the cold-vs-warm tile-cache experiment: the same
+// repeated-cell clip solved twice against one shared cache. The cold
+// run pays every distinct tile once (duplicates merge in flight); the
+// warm run must answer entirely from the cache with a lower TAT and
+// bit-identical output.
+type CacheResult struct {
+	Runs      []CacheRun
+	Identical bool // warm mask bit-identical to cold
+}
+
+// WarmHitRate is the number the trajectory document records: the hit
+// rate of the warm (second) run.
+func (c *CacheResult) WarmHitRate() float64 {
+	return c.Runs[len(c.Runs)-1].HitRate
+}
+
+// RunCache measures the content-addressed tile cache on a repeated-
+// cell clip under the divide-and-conquer flow. It fails rather than
+// report numbers if the warm run misses, re-dispatches device work,
+// or changes a single bit of the mask — the cache's whole contract.
+func (e *Env) RunCache(progress func(string)) (*CacheResult, error) {
+	clip, err := layout.GenerateRepeat(layout.RepeatConfig{Size: e.Scale.Clip, Seed: e.Scale.Seed})
+	if err != nil {
+		return nil, err
+	}
+	shared, err := cache.New(cache.Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &CacheResult{}
+	var results []*core.Result
+	for _, phase := range []string{"cold", "warm"} {
+		if progress != nil {
+			progress(fmt.Sprintf("cache / %s", phase))
+		}
+		cl, err := device.NewCluster(2, 0)
+		if err != nil {
+			return nil, err
+		}
+		cfg := e.BaseConfig()
+		cfg.Cluster = cl
+		cfg.TileCache = shared
+		before := shared.Stats()
+		r, err := core.DivideAndConquer(cfg, clip.Target)
+		if err != nil {
+			return nil, fmt.Errorf("bench: cache %s run: %w", phase, err)
+		}
+		delta := shared.Stats().Sub(before)
+		out.Runs = append(out.Runs, CacheRun{
+			Phase:   phase,
+			TAT:     r.TAT,
+			Jobs:    cl.Stats().Jobs,
+			Stats:   delta,
+			HitRate: delta.HitRate(),
+		})
+		results = append(results, r)
+	}
+
+	cold, warm := out.Runs[0], out.Runs[1]
+	out.Identical = results[1].Mask.Equal(results[0].Mask)
+	switch {
+	case !out.Identical:
+		return nil, fmt.Errorf("bench: warm cached mask differs from cold run")
+	case warm.Stats.Misses != 0:
+		return nil, fmt.Errorf("bench: warm run missed the cache %d times", warm.Stats.Misses)
+	case warm.Jobs != 0:
+		return nil, fmt.Errorf("bench: warm run dispatched %d device jobs, want 0", warm.Jobs)
+	case warm.TAT >= cold.TAT:
+		return nil, fmt.Errorf("bench: warm TAT %v not below cold %v", warm.TAT, cold.TAT)
+	}
+	return out, nil
+}
+
+// Render builds the cold-vs-warm table.
+func (c *CacheResult) Render() *report.Table {
+	tab := report.New("phase", "TAT", "device jobs", "hits", "misses", "merged", "hit rate")
+	for _, r := range c.Runs {
+		tab.AddRow(r.Phase,
+			r.TAT.Round(time.Millisecond).String(),
+			fmt.Sprintf("%d", r.Jobs),
+			fmt.Sprintf("%d", r.Stats.Hits+r.Stats.DiskHits),
+			fmt.Sprintf("%d", r.Stats.Misses),
+			fmt.Sprintf("%d", r.Stats.Merged),
+			fmt.Sprintf("%.1f%%", 100*r.HitRate))
+	}
+	return tab
+}

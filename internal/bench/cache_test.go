@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// The cache experiment enforces its own contract internally (warm run
+// all-hit, zero device jobs, bit-identical, lower TAT) and errors out
+// otherwise — so a clean return already proves the interesting parts.
+// Here we pin the reported shape: two phases, a perfect warm hit rate
+// for the trajectory document, and a rendered table benchdiff can diff.
+func TestRunCache(t *testing.T) {
+	env := tinyEnv(t)
+	res, err := env.RunCache(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 2 || res.Runs[0].Phase != "cold" || res.Runs[1].Phase != "warm" {
+		t.Fatalf("runs = %+v, want cold then warm", res.Runs)
+	}
+	if !res.Identical {
+		t.Fatal("warm mask not bit-identical")
+	}
+	if hr := res.WarmHitRate(); hr != 1 {
+		t.Fatalf("warm hit rate %.3f, want 1.0", hr)
+	}
+	if res.Runs[0].Stats.Misses == 0 {
+		t.Fatal("cold run reported no misses — cache not exercised")
+	}
+
+	var b strings.Builder
+	if err := res.Render().Fprint(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"cold", "warm", "100.0%", "hit rate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

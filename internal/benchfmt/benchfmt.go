@@ -79,8 +79,15 @@ type Doc struct {
 	// valid), while a recorded 0 — the engine's target — survives
 	// marshalling. Unlike TAT it needs no host calibration: allocation
 	// counts are deterministic per code version.
-	LossGradAllocs *float64     `json:"lossgrad_allocs_per_op,omitempty"`
-	Experiments    []Experiment `json:"experiments"`
+	LossGradAllocs *float64 `json:"lossgrad_allocs_per_op,omitempty"`
+	// CacheHitRate is the warm-run tile-cache hit rate (0..1) of the
+	// serving cache experiment: the fraction of tile solves a second,
+	// identical run answers from the content-addressed cache. Tri-state
+	// like LossGradAllocs — nil means the producer predates the tile
+	// cache. The experiment is deterministic per code version, so a drop
+	// means cache keys started splitting, not that a run got unlucky.
+	CacheHitRate *float64     `json:"cache_hit_rate,omitempty"`
+	Experiments  []Experiment `json:"experiments"`
 }
 
 // WriteFile marshals the document with stable indentation.
@@ -122,6 +129,9 @@ func (d *Doc) Validate() error {
 	}
 	if a := d.LossGradAllocs; a != nil && (math.IsNaN(*a) || math.IsInf(*a, 0) || *a < 0) {
 		return fmt.Errorf("benchfmt: invalid lossgrad_allocs_per_op %v", *a)
+	}
+	if h := d.CacheHitRate; h != nil && (math.IsNaN(*h) || *h < 0 || *h > 1) {
+		return fmt.Errorf("benchfmt: cache_hit_rate %v outside [0,1]", *h)
 	}
 	for i := range d.Experiments {
 		e := &d.Experiments[i]
@@ -311,6 +321,25 @@ func Compare(base, cur *Doc, opts CompareOptions) (*Result, error) {
 			res.Regressions = append(res.Regressions, Finding{
 				Experiment: "hotpath", Method: "LossGrad", Metric: "allocs/op",
 				Base: *base.LossGradAllocs, Cur: *cur.LossGradAllocs, Rel: rel,
+			})
+		}
+	}
+	// Cache gate: same tri-state contract as the allocation gate, but
+	// the direction is inverted — the hit rate must not DROP. The rate
+	// is deterministic per code version; the small absolute slack only
+	// absorbs experiment-shape drift, so a baseline of 1.0 effectively
+	// pins full reuse.
+	if base.CacheHitRate != nil && cur.CacheHitRate != nil {
+		res.Checked++
+		const hitRateSlack = 0.02
+		if *cur.CacheHitRate < *base.CacheHitRate-hitRateSlack {
+			rel := 0.0
+			if *base.CacheHitRate > 0 {
+				rel = *cur.CacheHitRate / *base.CacheHitRate - 1
+			}
+			res.Regressions = append(res.Regressions, Finding{
+				Experiment: "cache", Method: "TileCache", Metric: "hit-rate",
+				Base: *base.CacheHitRate, Cur: *cur.CacheHitRate, Rel: rel,
 			})
 		}
 	}

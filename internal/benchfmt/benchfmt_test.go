@@ -260,6 +260,69 @@ func TestCompareAllocsGate(t *testing.T) {
 	}
 }
 
+func TestValidateRejectsBadHitRate(t *testing.T) {
+	for _, bad := range []float64{-0.1, 1.1, math.NaN(), math.Inf(1)} {
+		d := sample()
+		d.CacheHitRate = allocsPtr(bad)
+		if err := d.Validate(); err == nil {
+			t.Errorf("cache_hit_rate=%v accepted", bad)
+		}
+	}
+	d := sample()
+	d.CacheHitRate = allocsPtr(1)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("cache_hit_rate=1 rejected: %v", err)
+	}
+}
+
+// TestCompareHitRateGate covers the cache gate: absent on either side
+// → not compared; present on both → a drop beyond the absolute slack
+// fails, while growth and within-slack dips pass. The direction is
+// inverted relative to every other gate.
+func TestCompareHitRateGate(t *testing.T) {
+	// Baseline without the field (pre-cache document): tolerated.
+	cur := sample()
+	cur.CacheHitRate = allocsPtr(0)
+	res, err := Compare(sample(), cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("hit rate against field-less baseline flagged: %v", res.Regressions)
+	}
+
+	compare := func(b, c float64) *Result {
+		base, cur := sample(), sample()
+		base.CacheHitRate = allocsPtr(b)
+		cur.CacheHitRate = allocsPtr(c)
+		res, err := Compare(base, cur, CompareOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	// Identical, improved, and within-slack dips all pass — and count
+	// as a performed check.
+	for _, c := range [][2]float64{{1, 1}, {0.6, 0.9}, {0.9, 0.89}} {
+		res := compare(c[0], c[1])
+		if !res.OK() || res.Checked != 9 {
+			t.Fatalf("%.2f -> %.2f: OK=%v checked=%d, want pass with 9 checks",
+				c[0], c[1], res.OK(), res.Checked)
+		}
+	}
+
+	// A genuine drop is a regression with the drop as a negative Rel.
+	res = compare(1, 0.5)
+	if res.OK() {
+		t.Fatal("hit rate 1.0 -> 0.5 passed the gate")
+	}
+	f := res.Regressions[0]
+	if f.Metric != "hit-rate" || f.Rel >= 0 {
+		t.Fatalf("unexpected finding %+v", f)
+	}
+}
+
 func TestCalibrate(t *testing.T) {
 	if testing.Short() {
 		t.Skip("calibration loop in -short mode")

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"testing"
+
+	"mgsilt/internal/cache"
+	"mgsilt/internal/device"
+	"mgsilt/internal/layout"
+	"mgsilt/internal/sched"
+)
+
+func repeatTarget(t testing.TB) *layout.Clip {
+	t.Helper()
+	clip, err := layout.GenerateRepeat(layout.RepeatConfig{Size: testClip, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clip
+}
+
+func newTileCache(t testing.TB) *cache.Cache {
+	t.Helper()
+	tc, err := cache.New(cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tc
+}
+
+// A warm cache must short-circuit every tile solve with bit-identical
+// results, zero device jobs, and a strictly smaller TAT — for both the
+// divide-and-conquer and the multigrid-Schwarz flow.
+func TestCacheColdWarmBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		run  func(Config, *layout.Clip) (*Result, error)
+	}{
+		{"dc", func(cfg Config, clip *layout.Clip) (*Result, error) {
+			return DivideAndConquer(cfg, clip.Target)
+		}},
+		{"mgs", func(cfg Config, clip *layout.Clip) (*Result, error) {
+			return MultigridSchwarz(cfg, clip.Target)
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sim := testSim(t)
+			clip := repeatTarget(t)
+			shared := newTileCache(t)
+
+			run := func(withCache bool) (*Result, device.Stats) {
+				cfg := testConfig(t, sim, 8)
+				cl, err := device.NewCluster(2, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Cluster = cl
+				if withCache {
+					cfg.TileCache = shared
+				}
+				res, err := tc.run(cfg, clip)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res, cl.Stats()
+			}
+
+			baseline, _ := run(false) // no cache at all
+			cold, coldStats := run(true)
+			warmBase := shared.Stats()
+			warm, warmStats := run(true)
+
+			// The cache must never change the numbers, cold or warm.
+			if !cold.Mask.Equal(baseline.Mask) {
+				t.Fatalf("cold cached mask differs from uncached run")
+			}
+			if !warm.Mask.Equal(baseline.Mask) {
+				t.Fatalf("warm cached mask differs from uncached run")
+			}
+			if warm.L2 != baseline.L2 || warm.PVBand != baseline.PVBand {
+				t.Fatalf("warm L2/PVBand %v/%v != %v/%v", warm.L2, warm.PVBand, baseline.L2, baseline.PVBand)
+			}
+
+			// Every fine-grid solve of the warm run is a pre-dispatch
+			// hit: fewer device jobs than cold, and a smaller TAT. (The
+			// MGS coarse stages are uncached, so warm jobs are not zero
+			// there — but the DC flow must reach exactly zero.)
+			delta := shared.Stats().Sub(warmBase)
+			if delta.Misses != 0 {
+				t.Fatalf("warm run missed %d times", delta.Misses)
+			}
+			if rate := delta.HitRate(); rate != 1 {
+				t.Fatalf("warm hit rate %.2f, want 1.0", rate)
+			}
+			if warmStats.Jobs >= coldStats.Jobs {
+				t.Fatalf("warm run dispatched %d device jobs, cold %d", warmStats.Jobs, coldStats.Jobs)
+			}
+			if tc.name == "dc" && warmStats.Jobs != 0 {
+				t.Fatalf("warm DC run dispatched %d device jobs, want 0", warmStats.Jobs)
+			}
+			if warm.TAT >= cold.TAT {
+				t.Fatalf("warm TAT %v not below cold %v", warm.TAT, cold.TAT)
+			}
+		})
+	}
+}
+
+// On a repeated-cell layout the cold run itself already deduplicates:
+// identical tiles solve once (singleflight Merged) and the cache holds
+// only the distinct patterns.
+func TestCacheDedupsRepeatedCellsWithinOneRun(t *testing.T) {
+	sim := testSim(t)
+	clip := repeatTarget(t)
+	tc := newTileCache(t)
+
+	cfg := testConfig(t, sim, 8)
+	cl, err := device.NewCluster(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cluster = cl
+	cfg.TileCache = tc
+	if _, err := DivideAndConquer(cfg, clip.Target); err != nil {
+		t.Fatal(err)
+	}
+
+	st := tc.Stats()
+	// 3×3 tile grid, cell pitch dividing the tile step, 3-cell library:
+	// 9 lookups, at most 3 distinct patterns survive as entries.
+	if st.Misses != 9 {
+		t.Fatalf("misses = %d, want 9 (one per tile)", st.Misses)
+	}
+	if st.Entries >= 9 || st.Entries < 1 {
+		t.Fatalf("entries = %d, want the distinct-pattern count (< 9)", st.Entries)
+	}
+	if st.Merged != uint64(9-st.Entries) {
+		t.Fatalf("merged = %d with %d entries, want %d duplicate solves avoided",
+			st.Merged, st.Entries, 9-st.Entries)
+	}
+}
+
+// Routing solves through the batch scheduler must not change any bit
+// of any flow result.
+func TestBatcherBitIdentical(t *testing.T) {
+	sim := testSim(t)
+	clip := repeatTarget(t)
+
+	run := func(b *sched.Batcher) *Result {
+		cfg := testConfig(t, sim, 8)
+		cl, err := device.NewCluster(4, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Cluster = cl
+		cfg.Batch = b
+		res, err := DivideAndConquer(cfg, clip.Target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	plain := run(nil)
+	b := sched.New(sched.Options{BatchSize: 4})
+	batched := run(b)
+	if !batched.Mask.Equal(plain.Mask) {
+		t.Fatalf("batched mask differs from direct solve")
+	}
+	if batched.L2 != plain.L2 || batched.PVBand != plain.PVBand {
+		t.Fatalf("batched L2/PVBand differ")
+	}
+	if st := b.Stats(); st.Requests == 0 {
+		t.Fatalf("batcher saw no requests — scheduler not wired into the flow")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"time"
 
+	"mgsilt/internal/cache"
 	"mgsilt/internal/device"
 	"mgsilt/internal/fft"
 	"mgsilt/internal/grid"
@@ -31,6 +32,7 @@ import (
 	"mgsilt/internal/metrics"
 	"mgsilt/internal/opt"
 	"mgsilt/internal/pipeline"
+	"mgsilt/internal/sched"
 	"mgsilt/internal/tile"
 )
 
@@ -40,6 +42,24 @@ type Config struct {
 	Sim     *litho.Simulator
 	Solver  opt.Solver      // φ(·); nil → opt.NewPixel(Sim)
 	Cluster *device.Cluster // nil → single device, unlimited memory
+
+	// TileCache, when non-nil, short-circuits fine-grid tile solves
+	// whose content address (tile-local target/init/freeze + optics +
+	// solver fingerprints + solve params) is already cached: hits skip
+	// the device dispatch entirely — no job, no virtual time charged —
+	// and return the stored result bit-identically. Misses solve under
+	// singleflight and populate the cache. Requires a solver that
+	// implements opt.Fingerprinter; others bypass the cache. Safe to
+	// share across concurrent flows/jobs.
+	TileCache *cache.Cache
+
+	// Batch, when non-nil and the solver implements opt.BatchSolver,
+	// routes cache-missing fine-grid tile solves through the cross-job
+	// batch scheduler, which coalesces compatible solves (from this and
+	// any concurrent flow sharing the Batcher) into lockstep batches.
+	// Results stay bit-identical to direct solves. Solvers without
+	// batch support solve directly.
+	Batch *sched.Batcher
 
 	// Ctx carries the flow's deadline/cancellation. It is threaded
 	// into every cluster batch (device.Cluster.RunCtx) and every

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"mgsilt/internal/cache"
 	"mgsilt/internal/device"
 	"mgsilt/internal/filter"
 	"mgsilt/internal/grid"
@@ -36,6 +37,27 @@ func (c *Config) solveTiles(cl *device.Cluster, p *tile.Partition, m, target *gr
 		}
 	}
 	solver := c.solver()
+
+	// Content addressing and batching both require a configuration
+	// fingerprint; solvers without one bypass the whole machinery.
+	var optics, solverFP string
+	if c.TileCache != nil || c.Batch != nil {
+		if f, ok := solver.(opt.Fingerprinter); ok {
+			optics = c.Sim.Fingerprint()
+			solverFP = f.Fingerprint()
+		}
+	}
+	tc := c.TileCache
+	if solverFP == "" {
+		tc = nil
+	}
+	batcher := c.Batch
+	batchSolver, canBatch := solver.(opt.BatchSolver)
+	if !canBatch || solverFP == "" {
+		batcher = nil
+	}
+	classKey := optics + "|" + solverFP
+
 	out := make([]*grid.Mat, len(p.Tiles))
 	var mu sync.Mutex
 	jobs := make([]device.Job, 0, len(indices))
@@ -47,6 +69,29 @@ func (c *Config) solveTiles(cl *device.Cluster, p *tile.Partition, m, target *gr
 		if freeze != nil {
 			tileParams.Freeze = freeze[idx]
 		}
+
+		var key cache.Key
+		useCache := false
+		if tc != nil {
+			k, err := cache.KeyInput{
+				Optics: optics, Solver: solverFP,
+				Iters: tileParams.Iters, Stretch: tileParams.Stretch,
+				LR: tileParams.LR, PVWeight: tileParams.PVWeight, Plain: tileParams.Plain,
+				Target: tgt, Init: init, Freeze: tileParams.Freeze,
+			}.Key()
+			if err == nil {
+				key, useCache = k, true
+				// Pre-dispatch short-circuit: a hit never becomes a device
+				// job, so no virtual time is charged — cached tiles are
+				// free on the TAT clock, exactly the repeated-work saving
+				// the cache exists to realise.
+				if u, ok := tc.Get(key); ok {
+					out[s.Index] = u
+					continue
+				}
+			}
+		}
+
 		jobs = append(jobs, device.Job{
 			Pixels: p.Tile * p.Tile,
 			Work: func(ctx context.Context, _ int) error {
@@ -55,7 +100,21 @@ func (c *Config) solveTiles(cl *device.Cluster, p *tile.Partition, m, target *gr
 				// iterations.
 				tp := tileParams
 				tp.Ctx = ctx
-				u, err := solver.Solve(tgt, init, tp)
+				solve := func() (*grid.Mat, error) {
+					if batcher != nil {
+						return batcher.Solve(classKey, batchSolver, tgt, init, tp)
+					}
+					return solver.Solve(tgt, init, tp)
+				}
+				var u *grid.Mat
+				var err error
+				if useCache {
+					// Singleflight: concurrent identical misses (repeated
+					// cells dispatched in one batch) solve once and share.
+					u, err = tc.Do(key, solve)
+				} else {
+					u, err = solve()
+				}
 				if err != nil {
 					return fmt.Errorf("core: tile %d: %w", s.Index, err)
 				}

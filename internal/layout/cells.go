@@ -1,0 +1,119 @@
+package layout
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Repeated standard-cell clips. Real full-chip layouts are dominated
+// by placed instances of a small standard-cell library, which is what
+// makes content-addressed tile caching pay: identical cell
+// neighbourhoods recur at many placements, so their tile solves are
+// redundant. GenerateRepeat synthesises that regime deterministically:
+// a library of a few random Manhattan cells instantiated on a regular
+// placement grid, striped by row so cell rows repeat with period
+// Library.
+//
+// When the cell pitch divides the solver's tile step (tile size minus
+// twice the margin), every tile crop is one of at most Library
+// distinct patterns regardless of clip size — the repeated-cell
+// workload the tile cache is benchmarked on.
+
+// RepeatConfig controls repeated-cell clip generation.
+type RepeatConfig struct {
+	// Size is the clip side length in pixels (power of two for the
+	// simulator); it must be a multiple of Cell.
+	Size int
+	// Seed selects the cell library; equal configs give identical clips.
+	Seed int64
+	// Cell is the placement pitch: cells are Cell×Cell and instantiated
+	// on a Cell-spaced grid. 0 selects 32, the divisor of the default
+	// tile step at every supported grid size.
+	Cell int
+	// Library is the number of distinct cells (placement stripes repeat
+	// with this period). 0 selects 3.
+	Library int
+}
+
+// Validate reports whether the configuration is generatable.
+func (c RepeatConfig) Validate() error {
+	if c.Size < 32 {
+		return fmt.Errorf("layout: size %d too small", c.Size)
+	}
+	if c.Cell < 16 {
+		return fmt.Errorf("layout: cell pitch %d too small (minimum 16)", c.Cell)
+	}
+	if c.Size%c.Cell != 0 {
+		return fmt.Errorf("layout: size %d not a multiple of cell pitch %d", c.Size, c.Cell)
+	}
+	if c.Library < 1 {
+		return fmt.Errorf("layout: library size %d < 1", c.Library)
+	}
+	return nil
+}
+
+// GenerateRepeat builds one repeated-cell clip from cfg. Generation is
+// deterministic in cfg (including the seed).
+func GenerateRepeat(cfg RepeatConfig) (*Clip, error) {
+	if cfg.Cell == 0 {
+		cfg.Cell = 32
+	}
+	if cfg.Library == 0 {
+		cfg.Library = 3
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	cells := make([][]Rect, cfg.Library)
+	for i := range cells {
+		cells[i] = cellRects(cfg.Cell, rand.New(rand.NewSource(cfg.Seed+int64(i))))
+	}
+
+	clip := &Clip{ID: fmt.Sprintf("cells-%d", cfg.Seed), Seed: cfg.Seed}
+	rows := cfg.Size / cfg.Cell
+	for ry := 0; ry < rows; ry++ {
+		cell := cells[ry%cfg.Library]
+		for rx := 0; rx < rows; rx++ {
+			for _, r := range cell {
+				clip.Rects = append(clip.Rects, Rect{
+					r.Y0 + ry*cfg.Cell, r.X0 + rx*cfg.Cell,
+					r.Y1 + ry*cfg.Cell, r.X1 + rx*cfg.Cell,
+				})
+			}
+		}
+	}
+	clip.Target = rasterise(cfg.Size, clip.Rects)
+	return clip, nil
+}
+
+// cellRects draws one standard cell: two horizontal rails in the top
+// and bottom halves joined by a vertical strap where they overlap.
+// Every feature is at least 4 px wide and keeps a border margin inside
+// the cell, so abutting placements stay design-rule clean.
+func cellRects(cell int, rng *rand.Rand) []Rect {
+	b := max(2, cell/8) // border kept clear inside the cell
+	w := max(4, cell/8) // minimum feature width
+	lo, hi := b, cell-b // usable interior
+	half := (hi - lo) / 2
+
+	var bars [2]Rect
+	for i := range bars {
+		y0 := lo + i*half + rng.Intn(max(1, half-w))
+		minLen := 2 * w
+		x0 := lo + rng.Intn(max(1, hi-lo-minLen))
+		length := minLen + rng.Intn(max(1, hi-x0-minLen+1))
+		bars[i] = Rect{y0, x0, y0 + w, x0 + length}
+	}
+	rects := bars[:]
+
+	// Vertical strap spanning both rails where their x-ranges overlap:
+	// the corner geometry ILT cares about.
+	oLo := max(bars[0].X0, bars[1].X0)
+	oHi := min(bars[0].X1, bars[1].X1)
+	if oHi-oLo >= w {
+		x := oLo + rng.Intn(oHi-oLo-w+1)
+		rects = append(rects, Rect{bars[0].Y0, x, bars[1].Y1, x + w})
+	}
+	return rects
+}

@@ -1,0 +1,94 @@
+package layout
+
+import "testing"
+
+func TestGenerateRepeatDeterministic(t *testing.T) {
+	cfg := RepeatConfig{Size: 128, Seed: 5}
+	a, err := GenerateRepeat(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateRepeat(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Target.Equal(b.Target) {
+		t.Fatalf("equal configs produced different clips")
+	}
+	if a.AreaPx() == 0 {
+		t.Fatalf("repeat clip is empty")
+	}
+}
+
+// The whole point of the generator: with the cell pitch dividing the
+// tile step, tile crops repeat with the library period. Check the raw
+// periodicity it rests on — cell rows repeat every Library rows, and
+// all placements within one row are identical.
+func TestGenerateRepeatPeriodicity(t *testing.T) {
+	cfg := RepeatConfig{Size: 128, Seed: 9, Cell: 32, Library: 3}
+	clip, err := GenerateRepeat(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := clip.Target
+
+	// Horizontal periodicity: every cell column equals the first.
+	for x := cfg.Cell; x < cfg.Size; x += cfg.Cell {
+		if !m.Crop(0, x, cfg.Size, cfg.Cell).Equal(m.Crop(0, 0, cfg.Size, cfg.Cell)) {
+			t.Fatalf("cell column at x=%d differs from column 0", x)
+		}
+	}
+	// Vertical periodicity with the library stripe period.
+	period := cfg.Cell * cfg.Library
+	for y := period; y+cfg.Cell <= cfg.Size; y += period {
+		if !m.Crop(y, 0, cfg.Cell, cfg.Size).Equal(m.Crop(0, 0, cfg.Cell, cfg.Size)) {
+			t.Fatalf("cell row at y=%d differs from row 0", y)
+		}
+	}
+	// The library rows are actually distinct cells.
+	if m.Crop(0, 0, cfg.Cell, cfg.Cell).Equal(m.Crop(cfg.Cell, 0, cfg.Cell, cfg.Cell)) {
+		t.Fatalf("library rows 0 and 1 are identical — no cell diversity")
+	}
+}
+
+// Features must respect the cell borders (abutting placements stay
+// separated) and the 4 px minimum feature size.
+func TestGenerateRepeatDesignRules(t *testing.T) {
+	cfg := RepeatConfig{Size: 128, Seed: 11, Cell: 32, Library: 3}
+	clip, err := GenerateRepeat(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := max(2, cfg.Cell/8)
+	for _, r := range clip.Rects {
+		if r.Y1-r.Y0 < 4 || r.X1-r.X0 < 4 {
+			t.Fatalf("rect %+v below 4 px minimum feature", r)
+		}
+		cy, cx := (r.Y0/cfg.Cell)*cfg.Cell, (r.X0/cfg.Cell)*cfg.Cell
+		if r.Y0 < cy+b || r.X0 < cx+b || r.Y1 > cy+cfg.Cell-b || r.X1 > cx+cfg.Cell-b {
+			t.Fatalf("rect %+v escapes its cell border (cell %d,%d, border %d)", r, cy, cx, b)
+		}
+	}
+}
+
+func TestGenerateRepeatValidation(t *testing.T) {
+	bad := []RepeatConfig{
+		{Size: 16, Seed: 1},                        // too small
+		{Size: 100, Seed: 1, Cell: 32},             // size not a multiple of cell
+		{Size: 128, Seed: 1, Cell: 8},              // cell too small
+		{Size: 128, Seed: 1, Cell: 32, Library: 0}, // explicit zero library defaulted — see below
+	}
+	for i, cfg := range bad[:3] {
+		if _, err := GenerateRepeat(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	// Zero values select defaults rather than failing.
+	clip, err := GenerateRepeat(RepeatConfig{Size: 128, Seed: 1})
+	if err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	if clip.Target.H != 128 {
+		t.Fatalf("clip is %d px", clip.Target.H)
+	}
+}

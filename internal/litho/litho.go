@@ -84,6 +84,9 @@ type Simulator struct {
 	nominal *kernels.Set
 	defocus *kernels.Set
 
+	fpOnce sync.Once
+	fp     string
+
 	mu    sync.Mutex
 	cache map[prepKey]*prepared
 }

@@ -50,7 +50,8 @@ func writeErr(w http.ResponseWriter, err error) {
 		code = http.StatusNotFound
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
 		code = http.StatusServiceUnavailable
-	case errors.Is(err, ErrNotDone), errors.Is(err, ErrTerminal), errors.Is(err, ErrNotResumable):
+	case errors.Is(err, ErrNotDone), errors.Is(err, ErrTerminal),
+		errors.Is(err, ErrNotResumable), errors.Is(err, ErrStillRunning):
 		code = http.StatusConflict
 	default:
 		code = http.StatusBadRequest

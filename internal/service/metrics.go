@@ -34,11 +34,12 @@ func (h *histogram) observe(sec float64) {
 
 // registry accumulates the service's counters and histograms.
 type registry struct {
-	mu        sync.Mutex
-	nSubmit   uint64
-	nResumed  uint64
-	nFinished map[State]uint64
-	stages    map[string]*histogram
+	mu         sync.Mutex
+	nSubmit    uint64
+	nResumed   uint64
+	nRecovered uint64
+	nFinished  map[State]uint64
+	stages     map[string]*histogram
 }
 
 func newRegistry() *registry {
@@ -57,6 +58,12 @@ func (r *registry) submitted() {
 func (r *registry) resumed() {
 	r.mu.Lock()
 	r.nResumed++
+	r.mu.Unlock()
+}
+
+func (r *registry) recovered(n int) {
+	r.mu.Lock()
+	r.nRecovered += uint64(n)
 	r.mu.Unlock()
 }
 
@@ -89,6 +96,10 @@ func (r *registry) write(w io.Writer, snap snapshot) {
 	fmt.Fprintf(w, "# HELP ilt_jobs_resumed_total Failed or cancelled jobs re-enqueued via resume.\n")
 	fmt.Fprintf(w, "# TYPE ilt_jobs_resumed_total counter\n")
 	fmt.Fprintf(w, "ilt_jobs_resumed_total %d\n", r.nResumed)
+
+	fmt.Fprintf(w, "# HELP ilt_jobs_recovered_total Jobs replayed from the state-dir journal at startup.\n")
+	fmt.Fprintf(w, "# TYPE ilt_jobs_recovered_total counter\n")
+	fmt.Fprintf(w, "ilt_jobs_recovered_total %d\n", r.nRecovered)
 
 	fmt.Fprintf(w, "# HELP ilt_jobs_finished_total Jobs reaching a terminal state.\n")
 	fmt.Fprintf(w, "# TYPE ilt_jobs_finished_total counter\n")
@@ -151,6 +162,39 @@ func (r *registry) write(w io.Writer, snap snapshot) {
 	fmt.Fprintf(w, "# HELP ilt_devices_quarantined Devices currently quarantined by hard faults.\n")
 	fmt.Fprintf(w, "# TYPE ilt_devices_quarantined gauge\n")
 	fmt.Fprintf(w, "ilt_devices_quarantined %d\n", snap.device.Quarantined)
+
+	if cs := snap.cache; cs != nil {
+		fmt.Fprintf(w, "# HELP ilt_cache_hits_total Tile-cache lookups served without a solve, by tier.\n")
+		fmt.Fprintf(w, "# TYPE ilt_cache_hits_total counter\n")
+		fmt.Fprintf(w, "ilt_cache_hits_total{tier=\"ram\"} %d\n", cs.Hits)
+		fmt.Fprintf(w, "ilt_cache_hits_total{tier=\"disk\"} %d\n", cs.DiskHits)
+		fmt.Fprintf(w, "# HELP ilt_cache_misses_total Tile-cache lookups that required a solve.\n")
+		fmt.Fprintf(w, "# TYPE ilt_cache_misses_total counter\n")
+		fmt.Fprintf(w, "ilt_cache_misses_total %d\n", cs.Misses)
+		fmt.Fprintf(w, "# HELP ilt_cache_merged_total Duplicate in-flight solves coalesced by singleflight.\n")
+		fmt.Fprintf(w, "# TYPE ilt_cache_merged_total counter\n")
+		fmt.Fprintf(w, "ilt_cache_merged_total %d\n", cs.Merged)
+		fmt.Fprintf(w, "# HELP ilt_cache_evictions_total Entries evicted to stay under the byte budget.\n")
+		fmt.Fprintf(w, "# TYPE ilt_cache_evictions_total counter\n")
+		fmt.Fprintf(w, "ilt_cache_evictions_total %d\n", cs.Evictions)
+		fmt.Fprintf(w, "# HELP ilt_cache_bytes Resident bytes of cached tile results.\n")
+		fmt.Fprintf(w, "# TYPE ilt_cache_bytes gauge\n")
+		fmt.Fprintf(w, "ilt_cache_bytes %d\n", cs.Bytes)
+		fmt.Fprintf(w, "# HELP ilt_cache_entries Resident cached tile results.\n")
+		fmt.Fprintf(w, "# TYPE ilt_cache_entries gauge\n")
+		fmt.Fprintf(w, "ilt_cache_entries %d\n", cs.Entries)
+	}
+	if bs := snap.sched; bs != nil {
+		fmt.Fprintf(w, "# HELP ilt_sched_requests_total Tile solves routed through the batch scheduler.\n")
+		fmt.Fprintf(w, "# TYPE ilt_sched_requests_total counter\n")
+		fmt.Fprintf(w, "ilt_sched_requests_total %d\n", bs.Requests)
+		fmt.Fprintf(w, "# HELP ilt_sched_batches_total Batch flushes executed (including singleton timeouts).\n")
+		fmt.Fprintf(w, "# TYPE ilt_sched_batches_total counter\n")
+		fmt.Fprintf(w, "ilt_sched_batches_total %d\n", bs.Batches)
+		fmt.Fprintf(w, "# HELP ilt_sched_batched_requests_total Requests that shared a flush with at least one peer.\n")
+		fmt.Fprintf(w, "# TYPE ilt_sched_batched_requests_total counter\n")
+		fmt.Fprintf(w, "ilt_sched_batched_requests_total %d\n", bs.Batched)
+	}
 }
 
 // trimFloat renders a bucket bound the way Prometheus expects

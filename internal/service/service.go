@@ -38,6 +38,7 @@ import (
 	"sync"
 	"time"
 
+	"mgsilt/internal/cache"
 	"mgsilt/internal/core"
 	"mgsilt/internal/device"
 	"mgsilt/internal/fault"
@@ -48,6 +49,7 @@ import (
 	"mgsilt/internal/opt"
 	"mgsilt/internal/parallel"
 	"mgsilt/internal/pipeline"
+	"mgsilt/internal/sched"
 )
 
 // State is a job's lifecycle state.
@@ -237,6 +239,35 @@ type Options struct {
 	FaultRate float64
 	// FaultSeed seeds the chaos injector (used only when FaultRate > 0).
 	FaultSeed int64
+
+	// CacheBytes, when positive (or CacheDir set), enables the shared
+	// content-addressed tile-result cache: fine-grid tile solves whose
+	// inputs (tile-local geometry + optics + solver config + solve
+	// params) recur — across tiles, across jobs, across resubmits —
+	// short-circuit to the stored result, bit-identically, without
+	// charging device time. CacheBytes is the RAM budget (0 with a
+	// CacheDir selects the cache default).
+	CacheBytes int64
+	// CacheDir, when set, adds the write-through on-disk spill layer so
+	// cached results survive restarts and outgrow the RAM budget.
+	CacheDir string
+
+	// BatchSize, when >= 2, enables the cross-job batch scheduler:
+	// cache-missing tile solves from all concurrently running jobs are
+	// coalesced into shared lockstep batches of up to BatchSize tiles
+	// (flushed after BatchWait when a batch does not fill), so the
+	// engine's batched FFT transforms amortise across the whole queue.
+	BatchSize int
+	// BatchWait bounds how long a tile may wait for batch peers; 0
+	// selects the scheduler default.
+	BatchWait time.Duration
+
+	// StateDir, when set, makes the job queue durable: submissions,
+	// state transitions and stage checkpoints are journalled there, and
+	// a restarted server re-enqueues the journal's queued and running
+	// jobs (running ones resume from their last checkpoint). Terminal
+	// jobs reappear as history without their result payloads.
+	StateDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -276,10 +307,16 @@ type Server struct {
 	simMu sync.Mutex
 	sims  map[int]*litho.Simulator
 
+	cache   *cache.Cache   // nil when disabled
+	batcher *sched.Batcher // nil when disabled
+	store   *jobStore      // nil when not durable
+
 	metrics *registry
 }
 
-// New builds the server and starts its worker pool.
+// New builds the server and starts its worker pool. With a StateDir,
+// the previous run's journal is replayed first: non-terminal jobs are
+// re-enqueued (ahead of any new submission) before the workers start.
 func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	if opts.ComputeWorkers > 0 {
@@ -296,6 +333,26 @@ func New(opts Options) (*Server, error) {
 	if opts.FaultRate < 0 || opts.FaultRate > 1 {
 		return nil, fmt.Errorf("service: fault rate %g out of [0, 1]", opts.FaultRate)
 	}
+	if opts.CacheBytes > 0 || opts.CacheDir != "" {
+		c, err := cache.New(cache.Options{MaxBytes: opts.CacheBytes, Dir: opts.CacheDir})
+		if err != nil {
+			return nil, err
+		}
+		s.cache = c
+	}
+	if opts.BatchSize >= 2 {
+		s.batcher = sched.New(sched.Options{BatchSize: opts.BatchSize, MaxWait: opts.BatchWait})
+	}
+	if opts.StateDir != "" {
+		st, err := openJobStore(opts.StateDir)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+	}
 	for i := 0; i < opts.Workers; i++ {
 		cl, err := device.NewCluster(opts.DevicesPerWorker, 0)
 		if err != nil {
@@ -311,6 +368,86 @@ func New(opts Options) (*Server, error) {
 		go s.worker(cl)
 	}
 	return s, nil
+}
+
+// recover replays the job journal into the in-memory store and
+// re-enqueues every non-terminal job, a previously running job
+// resuming from its last journalled checkpoint. Called from New before
+// the workers start, so recovered jobs run ahead of new submissions.
+func (s *Server) recover() error {
+	recs, cks, err := s.store.load()
+	if err != nil {
+		return err
+	}
+	recovered := 0
+	for _, rec := range recs {
+		j := &job{
+			id: rec.ID, spec: rec.Spec, state: rec.State, err: rec.Error,
+			attempts: rec.Attempts, created: rec.Created,
+			started: rec.Started, finished: rec.Finished,
+			checkpoint: cks[rec.ID],
+		}
+		if rec.ResumedFrom != nil {
+			v := *rec.ResumedFrom
+			j.resumedFrom = &v
+		}
+		if _, dup := s.jobs[j.id]; dup {
+			continue
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		if n, err := jobIDNum(j.id); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+		if j.state.Terminal() {
+			continue
+		}
+		// Journalled specs are normally already normalized by Submit,
+		// but the journal is external input: re-normalize, and fail a
+		// record this server cannot run (e.g. its MaxN shrank) instead
+		// of crashing the flow later.
+		if err := s.normalize(&j.spec); err != nil {
+			j.state = StateFailed
+			j.err = err.Error()
+			j.finished = time.Now()
+			s.persistLocked(j)
+			continue
+		}
+		// Interrupted job: back into the queue. A job the old process
+		// had running resumes after its last checkpointed stage.
+		j.state = StateQueued
+		j.err = ""
+		j.finished = time.Time{}
+		j.resumedFrom = nil
+		if j.checkpoint != nil {
+			v := j.checkpoint.Stage
+			j.resumedFrom = &v
+		}
+		select {
+		case s.queue <- j:
+			recovered++
+		default:
+			// More interrupted jobs than this process's queue capacity;
+			// fail the overflow explicitly rather than dropping silently.
+			j.state = StateFailed
+			j.err = "service: recovered job exceeds queue capacity"
+			j.finished = time.Now()
+		}
+		s.persistLocked(j)
+	}
+	s.metrics.recovered(recovered)
+	return nil
+}
+
+// persistLocked journals the job's current state. Best-effort by
+// design: a journal write failure must not fail the serving path (the
+// in-memory store remains authoritative for this process's lifetime).
+// Caller holds s.mu (or, during New, has exclusive access).
+func (s *Server) persistLocked(j *job) {
+	if s.store == nil {
+		return
+	}
+	_ = s.store.saveRecord(recordOf(j))
 }
 
 // normalize fills spec defaults and validates the cheap invariants
@@ -382,6 +519,7 @@ func (s *Server) Submit(spec JobSpec) (Status, error) {
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.metrics.submitted()
+	s.persistLocked(j)
 	return j.status(), nil
 }
 
@@ -393,6 +531,7 @@ var (
 	ErrNotDone      = errors.New("service: job has no result yet")
 	ErrTerminal     = errors.New("service: job already finished")
 	ErrNotResumable = errors.New("service: only failed or cancelled jobs can be resumed")
+	ErrStillRunning = errors.New("service: job is still queued or running; cancel it or wait for it to finish")
 )
 
 // Resume re-enqueues a failed or cancelled job. Every flow runs on
@@ -410,6 +549,11 @@ func (s *Server) Resume(id string) (Status, error) {
 	}
 	if s.closed {
 		return j.status(), ErrDraining
+	}
+	if j.state == StateQueued || j.state == StateRunning {
+		// A live job must never be double-scheduled: one *job value in
+		// the queue twice would run concurrently with itself.
+		return j.status(), ErrStillRunning
 	}
 	if j.state != StateFailed && j.state != StateCancelled {
 		return j.status(), ErrNotResumable
@@ -430,6 +574,7 @@ func (s *Server) Resume(id string) (Status, error) {
 		j.resumedFrom = &v
 	}
 	s.metrics.resumed()
+	s.persistLocked(j)
 	return j.status(), nil
 }
 
@@ -486,6 +631,7 @@ func (s *Server) Cancel(id string) (Status, error) {
 		j.err = context.Canceled.Error()
 		j.finished = time.Now()
 		s.metrics.finished(StateCancelled)
+		s.persistLocked(j)
 	case j.state == StateRunning && j.cancel != nil:
 		j.cancel() // finalised by the worker when the flow unwinds
 	case j.state.Terminal():
@@ -531,6 +677,7 @@ func (s *Server) cancelAll() {
 			j.err = context.Canceled.Error()
 			j.finished = time.Now()
 			s.metrics.finished(StateCancelled)
+			s.persistLocked(j)
 		case j.state == StateRunning && j.cancel != nil:
 			j.cancel()
 		}
@@ -571,6 +718,7 @@ func (s *Server) runJob(j *job, cl *device.Cluster) {
 	j.attempts++
 	spec := j.spec
 	resume := j.checkpoint
+	s.persistLocked(j)
 	s.mu.Unlock()
 	defer cancel()
 
@@ -595,6 +743,11 @@ func (s *Server) runJob(j *job, cl *device.Cluster) {
 		c := ck
 		j.checkpoint = &c
 		s.mu.Unlock()
+		if s.store != nil {
+			// Outside s.mu: the disk write must not stall the API. Only
+			// this worker touches this job's checkpoint file.
+			_ = s.store.saveCheckpoint(j.id, &c)
+		}
 	}
 
 	// Stage latency accounting comes straight from the pipeline
@@ -633,6 +786,7 @@ func (s *Server) runJob(j *job, cl *device.Cluster) {
 		j.err = err.Error()
 	}
 	s.metrics.finished(j.state)
+	s.persistLocked(j)
 }
 
 // execute builds the environment (simulator, clip, config) and runs
@@ -649,6 +803,10 @@ func (s *Server) execute(ctx context.Context, spec JobSpec, cl *device.Cluster, 
 	cfg := core.DefaultConfig(sim, spec.ClipSize, spec.Iters)
 	cfg.Cluster = cl
 	cfg.Ctx = ctx
+	// The cache and batch scheduler are shared across all workers: that
+	// is what turns per-job tile reuse into cross-job reuse.
+	cfg.TileCache = s.cache
+	cfg.Batch = s.batcher
 	cfg.Progress = progress
 	cfg.StageDone = onStage
 	// Every flow runs on the stage-pipeline engine, so every flow
@@ -756,6 +914,8 @@ type snapshot struct {
 	computeWorkers  int // process-wide internal/parallel pool width
 	uptime          time.Duration
 	device          device.Stats
+	cache           *cache.Stats // nil when the tile cache is disabled
+	sched           *sched.Stats // nil when the batch scheduler is disabled
 }
 
 func (s *Server) snapshot() snapshot {
@@ -784,6 +944,14 @@ func (s *Server) snapshot() snapshot {
 		snap.device.SimElapsed += st.SimElapsed
 		snap.device.Retries += st.Retries
 		snap.device.Quarantined += st.Quarantined
+	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		snap.cache = &cs
+	}
+	if s.batcher != nil {
+		bs := s.batcher.Stats()
+		snap.sched = &bs
 	}
 	return snap
 }
