@@ -91,6 +91,11 @@ func main() {
 		Kernels:     env.KernelProvenance(),
 		GitDescribe: gitDescribe(),
 	}
+	// The bench harness always runs its flows in-process, which is
+	// shard count 1 by definition; recording it explicitly keeps these
+	// documents comparable with (and only with) future unsharded runs.
+	shardCount := 1
+	doc.ShardCount = &shardCount
 	if *jsonPath != "" {
 		// Calibrate before running experiments so the measurement is
 		// taken on an otherwise-quiet process, and record the hot-path

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"mgsilt/internal/cache"
 	"mgsilt/internal/core"
@@ -32,7 +33,20 @@ import (
 	"mgsilt/internal/parallel"
 	"mgsilt/internal/pipeline"
 	"mgsilt/internal/sched"
+	"mgsilt/internal/shard"
 )
+
+// shardSolver maps the -method solver choice to the shard wire solver
+// name the workers must construct.
+func shardSolver(method string) string {
+	switch method {
+	case "dc-multilevel", "heal":
+		return "multilevel"
+	case "dc-gls":
+		return "levelset"
+	}
+	return "pixel"
+}
 
 func main() {
 	var (
@@ -54,6 +68,8 @@ func main() {
 		cacheDir  = flag.String("cache-dir", "", "tile-cache disk spill directory (enables the cache; a warm dir short-circuits repeated runs)")
 		batchSize = flag.Int("batch-size", 0, "tile batch scheduler flush threshold (<2 disables batching)")
 		repeat    = flag.Bool("repeat-cells", false, "optimise a repeated standard-cell clip (layout.GenerateRepeat) instead of random routing — the workload the tile cache accelerates")
+		shardURLs = flag.String("shard-workers", "", "comma-separated iltworker base URLs; tile solves shard across them (byte-identical to in-process at any count)")
+		maskRaw   = flag.String("mask-raw", "", "write the final mask to this file in the versioned checkpoint format, for byte-level comparison (cmp) across runs")
 	)
 	flag.Parse()
 	if *workers > 0 {
@@ -120,6 +136,23 @@ func main() {
 	}
 	if *batchSize >= 2 {
 		cfg.Batch = sched.New(sched.Options{BatchSize: *batchSize})
+	}
+	// Remote tile sharding: the flow's tile fan-out goes through a
+	// shard coordinator instead of the local cluster. The worker-side
+	// solver name must match this process's -method solver choice, or
+	// the distributed result would diverge from the in-process one.
+	var coord *shard.Coordinator
+	if *shardURLs != "" {
+		coord, err = shard.NewCoordinator(shard.Config{
+			Workers: strings.Split(*shardURLs, ","),
+			N:       *n,
+			Solver:  shardSolver(*method),
+			RunID:   fmt.Sprintf("iltrun-%d", os.Getpid()),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Tiles = coord
 	}
 	chaos := *faultRate > 0 || *faultHard > 0
 	if chaos {
@@ -197,11 +230,30 @@ func main() {
 		fmt.Printf("batch        : %d solves in %d flushes (%d shared a batch, largest %d)\n",
 			bs.Requests, bs.Batches, bs.Batched, bs.MaxBatch)
 	}
+	if coord != nil {
+		ss := coord.Stats()
+		fmt.Printf("shard        : %d tiles over %d/%d workers in %d rounds (%d reassigned, %d quarantined, %d retries)\n",
+			ss.Tiles, coord.LiveWorkers(), len(strings.Split(*shardURLs, ",")), ss.Rounds,
+			ss.ReassignedTiles, ss.WorkersQuarantined, ss.RequestRetries)
+		fmt.Printf("shard bytes  : %.2f MiB halo + %.2f MiB full\n",
+			float64(ss.HaloBytes)/(1<<20), float64(ss.FullBytes)/(1<<20))
+	}
 	if *times && len(res.Timeline) > 0 {
 		fmt.Printf("stages       : %d executed\n", len(res.Timeline))
 		for _, st := range res.Timeline {
 			fmt.Printf("  %-8s %2d/%-2d %9.1f ms\n", st.Name, st.Iter, st.Total, float64(st.Wall.Microseconds())/1e3)
 		}
+	}
+
+	// The raw dump reuses the versioned checkpoint encoding, so two
+	// bit-identical runs produce byte-identical files — what the CI
+	// shard-equivalence job compares with cmp.
+	if *maskRaw != "" {
+		ck := &core.Checkpoint{Flow: res.Method, Stage: 1, Total: 1, Mask: res.Mask}
+		if err := writeCheckpointFile(*maskRaw, ck); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *maskRaw)
 	}
 
 	if *outDir != "" {

@@ -28,6 +28,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -51,8 +52,14 @@ func main() {
 		batchSize = flag.Int("batch-size", 0, "cross-job batch scheduler flush threshold (<2 disables batching)")
 		batchWait = flag.Duration("batch-wait", 0, "max time a tile waits for batch peers (0 = scheduler default)")
 		stateDir  = flag.String("state-dir", "", "durable job-queue journal directory; pending jobs resume after a restart")
+		shardURLs = flag.String("shard-workers", "", "comma-separated iltworker base URLs; every job's tile solves shard across them (byte-identical to in-process)")
 	)
 	flag.Parse()
+
+	var shardWorkers []string
+	if *shardURLs != "" {
+		shardWorkers = strings.Split(*shardURLs, ",")
+	}
 
 	srv, err := service.New(service.Options{
 		Workers:          *workers,
@@ -68,6 +75,7 @@ func main() {
 		BatchSize:        *batchSize,
 		BatchWait:        *batchWait,
 		StateDir:         *stateDir,
+		ShardWorkers:     shardWorkers,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,100 @@
+// Command iltworker runs one shard worker: an HTTP service that
+// solves the tile shards a coordinator (internal/shard, installed via
+// iltrun -shard-workers or iltserver -shard-workers) assigns to it,
+// on a local simulated accelerator cluster, and exchanges only the
+// overlap-halo strips between Schwarz stages.
+//
+// Quickstart (see README.md "Distributed sharding"):
+//
+//	go run ./cmd/iltworker -addr :9301 &
+//	go run ./cmd/iltworker -addr :9302 &
+//	go run ./cmd/iltrun -method ours -n 64 \
+//	    -shard-workers http://127.0.0.1:9301,http://127.0.0.1:9302
+//
+// The distributed result is byte-identical to the in-process run at
+// any worker count: workers execute only deterministic pure tile
+// solves, and the coordinator performs all mask assembly itself in
+// tile-index order.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown. The -fail-after-solves
+// flag is a deterministic chaos hook for the CI kill-and-reassign
+// case: the worker serves that many solve batches, then fails every
+// further one with a 500 so the coordinator quarantines it and
+// reassigns its shard.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mgsilt/internal/parallel"
+	"mgsilt/internal/shard"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":9301", "listen address")
+		devices   = flag.Int("devices", 1, "simulated devices in the worker cluster")
+		compute   = flag.Int("compute-workers", 0, "process-wide compute pool width for FFT/convolution fan-out (0 = ILT_WORKERS env or GOMAXPROCS)")
+		maxBodyMB = flag.Int64("max-body-mb", 64, "largest accepted solve request body in MiB")
+		sessions  = flag.Int("max-sessions", 8, "cached coordinator sessions before LRU eviction")
+		failAfter = flag.Int("fail-after-solves", 0, "chaos: serve this many solve batches then fail every further one with a 500 (0 disables)")
+	)
+	flag.Parse()
+	if *compute > 0 {
+		parallel.SetWorkers(*compute)
+	}
+
+	w, err := shard.NewWorker(shard.WorkerOptions{
+		Devices:         *devices,
+		MaxBodyBytes:    *maxBodyMB << 20,
+		MaxSessions:     *sessions,
+		FailAfterSolves: *failAfter,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           w.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "iltworker: listening on %s (%d devices)\n", *addr, *devices)
+		if *failAfter > 0 {
+			fmt.Fprintf(os.Stderr, "iltworker: chaos enabled — failing after %d solve batches\n", *failAfter)
+		}
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "iltworker: shutting down...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "iltworker: http shutdown:", err)
+	}
+	fmt.Fprintln(os.Stderr, "iltworker: bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "iltworker:", err)
+	os.Exit(1)
+}

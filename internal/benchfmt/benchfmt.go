@@ -86,8 +86,16 @@ type Doc struct {
 	// like LossGradAllocs — nil means the producer predates the tile
 	// cache. The experiment is deterministic per code version, so a drop
 	// means cache keys started splitting, not that a run got unlucky.
-	CacheHitRate *float64     `json:"cache_hit_rate,omitempty"`
-	Experiments  []Experiment `json:"experiments"`
+	CacheHitRate *float64 `json:"cache_hit_rate,omitempty"`
+	// ShardCount is the tile-shard worker count the run's flows fanned
+	// out over (provenance, like Workers): 1 is the in-process path.
+	// Tri-state like LossGradAllocs — nil means the producer predates
+	// distributed sharding and is comparable only with an unsharded
+	// (nil or 1) run. TATs measured at different shard counts are not
+	// comparable, so benchdiff treats any other mismatch as
+	// incomparable rather than as a regression.
+	ShardCount  *int         `json:"shard_count,omitempty"`
+	Experiments []Experiment `json:"experiments"`
 }
 
 // WriteFile marshals the document with stable indentation.
@@ -132,6 +140,9 @@ func (d *Doc) Validate() error {
 	}
 	if h := d.CacheHitRate; h != nil && (math.IsNaN(*h) || *h < 0 || *h > 1) {
 		return fmt.Errorf("benchfmt: cache_hit_rate %v outside [0,1]", *h)
+	}
+	if s := d.ShardCount; s != nil && *s < 1 {
+		return fmt.Errorf("benchfmt: shard_count %d must be >= 1", *s)
 	}
 	for i := range d.Experiments {
 		e := &d.Experiments[i]
@@ -285,6 +296,17 @@ func Compare(base, cur *Doc, opts CompareOptions) (*Result, error) {
 		return nil, incomparable("kernels", base.Kernels, cur.Kernels)
 	case base.Workers != cur.Workers:
 		return nil, incomparable("workers", base.Workers, cur.Workers)
+	}
+	// Shard-count provenance: tri-state, so a nil (pre-sharding)
+	// document is equivalent to the in-process shard count of 1.
+	shardOf := func(d *Doc) int {
+		if d.ShardCount == nil {
+			return 1
+		}
+		return *d.ShardCount
+	}
+	if shardOf(base) != shardOf(cur) {
+		return nil, incomparable("shard_count", shardOf(base), shardOf(cur))
 	}
 	tatScale := func(d *Doc) (float64, error) {
 		if opts.AbsoluteTAT {

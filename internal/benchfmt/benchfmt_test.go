@@ -332,3 +332,59 @@ func TestCalibrate(t *testing.T) {
 		t.Fatalf("Calibrate() = %d", c)
 	}
 }
+
+func shardPtr(v int) *int { return &v }
+
+func TestValidateRejectsBadShardCount(t *testing.T) {
+	for _, bad := range []int{0, -1} {
+		d := sample()
+		d.ShardCount = shardPtr(bad)
+		if err := d.Validate(); err == nil {
+			t.Errorf("shard_count=%d accepted", bad)
+		}
+	}
+	d := sample()
+	d.ShardCount = shardPtr(4)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("shard_count=4 rejected: %v", err)
+	}
+}
+
+// TestCompareShardCountProvenance covers the tri-state shard_count
+// gate: an absent field means the run predates sharding and is
+// equivalent to shard count 1, so pre-sharding baselines stay
+// comparable with unsharded runs; any true mismatch is incomparable
+// provenance, never a regression.
+func TestCompareShardCountProvenance(t *testing.T) {
+	compat := []struct {
+		name      string
+		base, cur *int
+	}{
+		{"nil-nil", nil, nil},
+		{"nil-1", nil, shardPtr(1)},
+		{"1-nil", shardPtr(1), nil},
+		{"2-2", shardPtr(2), shardPtr(2)},
+	}
+	for _, tc := range compat {
+		base, cur := sample(), sample()
+		base.ShardCount, cur.ShardCount = tc.base, tc.cur
+		if _, err := Compare(base, cur, CompareOptions{}); err != nil {
+			t.Errorf("%s: comparable runs rejected: %v", tc.name, err)
+		}
+	}
+	mismatch := []struct {
+		name      string
+		base, cur *int
+	}{
+		{"1-2", shardPtr(1), shardPtr(2)},
+		{"nil-2", nil, shardPtr(2)},
+		{"4-nil", shardPtr(4), nil},
+	}
+	for _, tc := range mismatch {
+		base, cur := sample(), sample()
+		base.ShardCount, cur.ShardCount = tc.base, tc.cur
+		if _, err := Compare(base, cur, CompareOptions{}); err == nil {
+			t.Errorf("%s: incomparable shard counts accepted", tc.name)
+		}
+	}
+}

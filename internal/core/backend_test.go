@@ -1,0 +1,78 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"mgsilt/internal/device"
+	"mgsilt/internal/grid"
+)
+
+// statsBackend is a TileBackend that also reports remote accounting,
+// standing in for the shard coordinator.
+type statsBackend struct {
+	sim   time.Duration
+	stats device.Stats
+}
+
+func (b *statsBackend) SolveTiles(ctx context.Context, reqs []TileRequest) ([]*grid.Mat, error) {
+	out := make([]*grid.Mat, len(reqs))
+	for i := range reqs {
+		out[i] = grid.NewMat(1, 1)
+	}
+	return out, nil
+}
+
+func (b *statsBackend) SimElapsed() time.Duration  { return b.sim }
+func (b *statsBackend) ClusterStats() device.Stats { return b.stats }
+
+func TestBackendStatsMerge(t *testing.T) {
+	cl, err := device.NewCluster(1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := &statsBackend{
+		sim: 3 * time.Second,
+		stats: device.Stats{
+			Jobs:        7,
+			TotalBusy:   5 * time.Second,
+			MaxBusy:     2 * time.Second,
+			Transfer:    time.Second,
+			SimElapsed:  3 * time.Second,
+			Retries:     2,
+			Quarantined: 1,
+		},
+	}
+	cfg := Config{Tiles: remote}
+
+	if got := cfg.backend(cl); got != remote {
+		t.Fatalf("backend() = %T, want the configured remote backend", got)
+	}
+	if got := cfg.simElapsed(cl); got != cl.Stats().SimElapsed+3*time.Second {
+		t.Fatalf("simElapsed = %v, want local + 3s", got)
+	}
+	s := cfg.runStats(cl)
+	if s.Jobs != cl.Stats().Jobs+7 || s.Retries != 2 || s.Quarantined != 1 {
+		t.Fatalf("runStats did not merge remote accounting: %+v", s)
+	}
+	if s.Transfer != cl.Stats().Transfer+time.Second {
+		t.Fatalf("runStats transfer = %v", s.Transfer)
+	}
+	if s.MaxBusy != 2*time.Second {
+		t.Fatalf("runStats MaxBusy = %v, want remote max 2s", s.MaxBusy)
+	}
+
+	// Without a backend the local cluster numbers pass through and the
+	// default in-process backend is returned.
+	plain := Config{}
+	if _, ok := plain.backend(cl).(*clusterBackend); !ok {
+		t.Fatalf("default backend is %T, want *clusterBackend", plain.backend(cl))
+	}
+	if got := plain.simElapsed(cl); got != cl.Stats().SimElapsed {
+		t.Fatalf("simElapsed without backend = %v", got)
+	}
+	if got := plain.runStats(cl); got != cl.Stats() {
+		t.Fatalf("runStats without backend = %+v", got)
+	}
+}

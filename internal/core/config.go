@@ -61,6 +61,21 @@ type Config struct {
 	// batch support solve directly.
 	Batch *sched.Batcher
 
+	// Tiles, when non-nil, replaces the in-process tile fan-out: every
+	// batch of tile solves (fine Schwarz stages, refine colour groups,
+	// coarse grids, D&C, healing windows) is dispatched through this
+	// backend instead of the flow's device.Cluster. internal/shard's
+	// Coordinator implements it by partitioning each batch over remote
+	// worker processes, exchanging only overlap-halo strips between
+	// Schwarz stages. Because the flow performs all assembly itself in
+	// tile-index order, results are bit-identical at any shard count.
+	// FullChip's single whole-clip job always runs on the local cluster
+	// (the paper's ideal-device baseline has no tile fan-out to shard).
+	// When Tiles is set, TileCache and Batch apply only to solves the
+	// backend chooses to honour them for (the shard workers solve
+	// directly).
+	Tiles TileBackend
+
 	// Ctx carries the flow's deadline/cancellation. It is threaded
 	// into every cluster batch (device.Cluster.RunCtx) and every
 	// solver iteration (opt.Params.Ctx), so cancelling it stops a
@@ -324,7 +339,7 @@ func (c *Config) evaluate(method string, mask, target *grid.Mat, lines []tile.St
 		Lines:  lines,
 	}
 	res.StitchLoss, res.Errors = metrics.StitchLoss(binary, lines, c.Stitch)
-	res.Stats = cl.Stats()
+	res.Stats = c.runStats(cl)
 	inspect := pipeline.StageTiming{Name: "inspect", Iter: 1, Total: 1, Wall: time.Since(start)}
 	if c.StageDone != nil {
 		c.StageDone(inspect)

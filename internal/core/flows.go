@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"sync"
 
-	"mgsilt/internal/cache"
 	"mgsilt/internal/device"
 	"mgsilt/internal/filter"
 	"mgsilt/internal/grid"
@@ -15,20 +14,22 @@ import (
 )
 
 // solveTiles optimises the selected tiles of the current layout m
-// against target on the cluster and returns the per-tile solutions
-// (indexed like p.Tiles; unselected entries are nil). Each tile is
-// cropped from the *current* layout, so margins carry the neighbours'
-// latest values — the modified-Schwarz boundary condition of Eq. (11).
+// against target and returns the per-tile solutions (indexed like
+// p.Tiles; unselected entries are nil). Each tile is cropped from the
+// *current* layout, so margins carry the neighbours' latest values —
+// the modified-Schwarz boundary condition of Eq. (11).
 //
-// Parallelism is two-level and shares one budget: the cluster
-// dispatches up to min(devices, parallel.Workers()) tile solves
-// concurrently (same-colour tiles in the refine stage, whole batches
-// elsewhere), and each solve's litho evaluations fan their per-kernel
-// convolutions out over the same internal/parallel pool. Because both
-// levels draw from the one token budget and pool acquisition never
-// blocks, nesting cannot oversubscribe the host or deadlock: when the
-// tile level saturates the pool, kernel loops run serial on their
-// tile's goroutine.
+// The fan-out itself is pluggable (Config.Tiles): by default the batch
+// runs on the flow's in-process device.Cluster, where parallelism is
+// two-level and shares one budget — the cluster dispatches up to
+// min(devices, parallel.Workers()) tile solves concurrently and each
+// solve's litho evaluations fan their per-kernel convolutions out over
+// the same internal/parallel pool. With a shard coordinator installed,
+// the batch is partitioned over remote worker processes instead, and
+// only overlap-halo strips travel between Schwarz stages. Either way
+// the flow assembles the returned solutions itself, in tile-index
+// order, so the result is bit-identical at any parallelism or shard
+// count.
 func (c *Config) solveTiles(cl *device.Cluster, p *tile.Partition, m, target *grid.Mat, params opt.Params, indices []int, freeze []*grid.Mat) ([]*grid.Mat, error) {
 	if indices == nil {
 		indices = make([]int, len(p.Tiles))
@@ -36,97 +37,28 @@ func (c *Config) solveTiles(cl *device.Cluster, p *tile.Partition, m, target *gr
 			indices[i] = i
 		}
 	}
-	solver := c.solver()
-
-	// Content addressing and batching both require a configuration
-	// fingerprint; solvers without one bypass the whole machinery.
-	var optics, solverFP string
-	if c.TileCache != nil || c.Batch != nil {
-		if f, ok := solver.(opt.Fingerprinter); ok {
-			optics = c.Sim.Fingerprint()
-			solverFP = f.Fingerprint()
-		}
-	}
-	tc := c.TileCache
-	if solverFP == "" {
-		tc = nil
-	}
-	batcher := c.Batch
-	batchSolver, canBatch := solver.(opt.BatchSolver)
-	if !canBatch || solverFP == "" {
-		batcher = nil
-	}
-	classKey := optics + "|" + solverFP
-
-	out := make([]*grid.Mat, len(p.Tiles))
-	var mu sync.Mutex
-	jobs := make([]device.Job, 0, len(indices))
+	reqs := make([]TileRequest, 0, len(indices))
 	for _, idx := range indices {
 		s := p.Tiles[idx]
-		init := m.Crop(s.Y0, s.X0, p.Tile, p.Tile)
-		tgt := target.Crop(s.Y0, s.X0, p.Tile, p.Tile)
-		tileParams := params
+		tp := params
 		if freeze != nil {
-			tileParams.Freeze = freeze[idx]
+			tp.Freeze = freeze[idx]
 		}
-
-		var key cache.Key
-		useCache := false
-		if tc != nil {
-			k, err := cache.KeyInput{
-				Optics: optics, Solver: solverFP,
-				Iters: tileParams.Iters, Stretch: tileParams.Stretch,
-				LR: tileParams.LR, PVWeight: tileParams.PVWeight, Plain: tileParams.Plain,
-				Target: tgt, Init: init, Freeze: tileParams.Freeze,
-			}.Key()
-			if err == nil {
-				key, useCache = k, true
-				// Pre-dispatch short-circuit: a hit never becomes a device
-				// job, so no virtual time is charged — cached tiles are
-				// free on the TAT clock, exactly the repeated-work saving
-				// the cache exists to realise.
-				if u, ok := tc.Get(key); ok {
-					out[s.Index] = u
-					continue
-				}
-			}
-		}
-
-		jobs = append(jobs, device.Job{
+		reqs = append(reqs, TileRequest{
+			Index:  s.Index,
 			Pixels: p.Tile * p.Tile,
-			Work: func(ctx context.Context, _ int) error {
-				// The attempt context carries batch cancellation plus any
-				// per-attempt retry deadline; the solver polls it between
-				// iterations.
-				tp := tileParams
-				tp.Ctx = ctx
-				solve := func() (*grid.Mat, error) {
-					if batcher != nil {
-						return batcher.Solve(classKey, batchSolver, tgt, init, tp)
-					}
-					return solver.Solve(tgt, init, tp)
-				}
-				var u *grid.Mat
-				var err error
-				if useCache {
-					// Singleflight: concurrent identical misses (repeated
-					// cells dispatched in one batch) solve once and share.
-					u, err = tc.Do(key, solve)
-				} else {
-					u, err = solve()
-				}
-				if err != nil {
-					return fmt.Errorf("core: tile %d: %w", s.Index, err)
-				}
-				mu.Lock()
-				out[s.Index] = u
-				mu.Unlock()
-				return nil
-			},
+			Target: target.Crop(s.Y0, s.X0, p.Tile, p.Tile),
+			Init:   m.Crop(s.Y0, s.X0, p.Tile, p.Tile),
+			Params: tp,
 		})
 	}
-	if err := cl.RunCtx(c.ctx(), jobs); err != nil {
+	sols, err := c.backend(cl).SolveTiles(c.ctx(), reqs)
+	if err != nil {
 		return nil, err
+	}
+	out := make([]*grid.Mat, len(p.Tiles))
+	for i, req := range reqs {
+		out[req.Index] = sols[i]
 	}
 	return out, nil
 }
@@ -134,35 +66,28 @@ func (c *Config) solveTiles(cl *device.Cluster, p *tile.Partition, m, target *gr
 // solveCoarseTiles is solveTiles for one coarse grid of Algorithm 1:
 // tiles of size s·TileSize are downsampled by s before optimisation
 // (lines 8-10) so they fit on one device, and the solutions are lifted
-// back to the fine grid bilinearly.
+// back to the fine grid bilinearly. The lift happens on the flow side,
+// so a remote backend ships only the downsampled solves.
 func (c *Config) solveCoarseTiles(cl *device.Cluster, p *tile.Partition, m, target *grid.Mat, s int, params opt.Params) ([]*grid.Mat, error) {
-	solver := c.solver()
-	out := make([]*grid.Mat, len(p.Tiles))
-	var mu sync.Mutex
-	jobs := make([]device.Job, 0, len(p.Tiles))
 	solvedSize := p.Tile / s
+	reqs := make([]TileRequest, 0, len(p.Tiles))
 	for _, spec := range p.Tiles {
-		spec := spec
-		init := m.Crop(spec.Y0, spec.X0, p.Tile, p.Tile).Downsample(s)
-		tgt := target.Crop(spec.Y0, spec.X0, p.Tile, p.Tile).Downsample(s)
-		jobs = append(jobs, device.Job{
+		reqs = append(reqs, TileRequest{
+			Index:  spec.Index,
 			Pixels: solvedSize * solvedSize, // the downsampled working set
-			Work: func(ctx context.Context, _ int) error {
-				tp := params
-				tp.Ctx = ctx
-				u, err := solver.Solve(tgt, init, tp)
-				if err != nil {
-					return fmt.Errorf("core: coarse tile %d: %w", spec.Index, err)
-				}
-				mu.Lock()
-				out[spec.Index] = u.UpsampleBilinear(s)
-				mu.Unlock()
-				return nil
-			},
+			Target: target.Crop(spec.Y0, spec.X0, p.Tile, p.Tile).Downsample(s),
+			Init:   m.Crop(spec.Y0, spec.X0, p.Tile, p.Tile).Downsample(s),
+			Params: params,
+			Bare:   true,
 		})
 	}
-	if err := cl.RunCtx(c.ctx(), jobs); err != nil {
+	sols, err := c.backend(cl).SolveTiles(c.ctx(), reqs)
+	if err != nil {
 		return nil, err
+	}
+	out := make([]*grid.Mat, len(p.Tiles))
+	for i, req := range reqs {
+		out[req.Index] = sols[i].UpsampleBilinear(s)
 	}
 	return out, nil
 }
@@ -211,7 +136,7 @@ func MultigridSchwarz(cfg Config, target *grid.Mat) (res *Result, err error) {
 		return nil, err
 	}
 	cl := c.cluster()
-	simStart := cl.Stats().SimElapsed
+	simStart := c.simElapsed(cl)
 
 	// Coarse grids: s = s_max, s_max/2, ..., 2. Stitch errors are not
 	// addressed here (line 12 uses the plain Eq. (6) assembly); the
@@ -323,7 +248,7 @@ func MultigridSchwarz(cfg Config, target *grid.Mat) (res *Result, err error) {
 	if err != nil {
 		return nil, err
 	}
-	tat := cl.Stats().SimElapsed - simStart
+	tat := c.simElapsed(cl) - simStart
 	return c.evaluate("multigrid-schwarz", m, target, p.StitchLines(), tat, cl, timeline), nil
 }
 
@@ -340,7 +265,7 @@ func DivideAndConquer(cfg Config, target *grid.Mat) (res *Result, err error) {
 		return nil, err
 	}
 	cl := c.cluster()
-	simStart := cl.Stats().SimElapsed
+	simStart := c.simElapsed(cl)
 	p, err := tile.Part(cfg.ClipSize, cfg.ClipSize, cfg.TileSize, cfg.Margin)
 	if err != nil {
 		return nil, err
@@ -355,7 +280,7 @@ func DivideAndConquer(cfg Config, target *grid.Mat) (res *Result, err error) {
 	if err != nil {
 		return nil, err
 	}
-	tat := cl.Stats().SimElapsed - simStart
+	tat := c.simElapsed(cl) - simStart
 	name := "divide-and-conquer/" + c.solver().Name()
 	return c.evaluate(name, m, target, p.StitchLines(), tat, cl, timeline), nil
 }
@@ -374,7 +299,7 @@ func FullChip(cfg Config, target *grid.Mat) (res *Result, err error) {
 		return nil, err
 	}
 	cl := c.cluster()
-	simStart := cl.Stats().SimElapsed
+	simStart := c.simElapsed(cl)
 	stages := []pipeline.Stage{{
 		Name: "solve", Iter: 1, Total: 1,
 		Run: func(_ context.Context, _ *grid.Mat) (*grid.Mat, error) {
@@ -407,7 +332,7 @@ func FullChip(cfg Config, target *grid.Mat) (res *Result, err error) {
 	if err != nil {
 		return nil, err
 	}
-	tat := cl.Stats().SimElapsed - simStart
+	tat := c.simElapsed(cl) - simStart
 	// Stitch loss is still measured on the tile geometry's lines, as
 	// the paper does (full-chip has a non-zero baseline from ordinary
 	// contour wiggle crossing those positions).

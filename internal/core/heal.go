@@ -2,8 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
-	"sync"
 
 	"mgsilt/internal/device"
 	"mgsilt/internal/grid"
@@ -34,7 +32,7 @@ func StitchAndHeal(cfg Config, target *grid.Mat) (res *Result, err error) {
 		return nil, err
 	}
 	cl := c.cluster()
-	simStart := cl.Stats().SimElapsed
+	simStart := c.simElapsed(cl)
 
 	p, err := tile.Part(cfg.ClipSize, cfg.ClipSize, cfg.TileSize, cfg.Margin)
 	if err != nil {
@@ -62,7 +60,7 @@ func StitchAndHeal(cfg Config, target *grid.Mat) (res *Result, err error) {
 	if err != nil {
 		return nil, err
 	}
-	tat := cl.Stats().SimElapsed - simStart
+	tat := c.simElapsed(cl) - simStart
 
 	res = c.evaluate("stitch-and-heal", m, target, lines, tat, cl, timeline)
 	for _, line := range lines {
@@ -72,18 +70,18 @@ func StitchAndHeal(cfg Config, target *grid.Mat) (res *Result, err error) {
 }
 
 // healLine re-optimises windows along one stitch line and pastes back
-// the central band, returning the updated layout.
+// the central band, returning the updated layout. The window solves go
+// through the pluggable tile backend like every other tile fan-out, so
+// healing shards across remote workers too.
 func (c *Config) healLine(cl *device.Cluster, m, target *grid.Mat, line tile.StitchLine) (*grid.Mat, error) {
 	size := c.ClipSize
 	t := c.TileSize
 	band := c.HealBand
 	perp := healPerp(line, t, size)
 
-	out := m.Clone()
-	var mu sync.Mutex
-	var jobs []device.Job
 	params := opt.Params{Iters: c.FineIters, LR: c.LR, Stretch: 1, PVWeight: c.PVWeight}
-	solver := c.solver()
+	var reqs []TileRequest
+	var origins [][2]int
 	for along := 0; along+t <= size; along += t {
 		var y0, x0 int
 		if line.Vertical {
@@ -91,36 +89,33 @@ func (c *Config) healLine(cl *device.Cluster, m, target *grid.Mat, line tile.Sti
 		} else {
 			y0, x0 = perp, along
 		}
-		init := m.Crop(y0, x0, t, t)
-		tgt := target.Crop(y0, x0, t, t)
-		jobs = append(jobs, device.Job{
+		origins = append(origins, [2]int{y0, x0})
+		reqs = append(reqs, TileRequest{
+			Index:  len(reqs),
 			Pixels: t * t,
-			Work: func(ctx context.Context, _ int) error {
-				p := params
-				p.Ctx = ctx
-				u, err := solver.Solve(tgt, init, p)
-				if err != nil {
-					return fmt.Errorf("core: heal window (%d,%d): %w", y0, x0, err)
-				}
-				// Paste back only the band straddling the line.
-				var bY0, bX0, bH, bW int
-				if line.Vertical {
-					bY0, bX0 = y0, line.Pos-band
-					bH, bW = t, 2*band
-				} else {
-					bY0, bX0 = line.Pos-band, x0
-					bH, bW = 2*band, t
-				}
-				patch := u.Crop(bY0-y0, bX0-x0, bH, bW)
-				mu.Lock()
-				out.Paste(patch, bY0, bX0)
-				mu.Unlock()
-				return nil
-			},
+			Target: target.Crop(y0, x0, t, t),
+			Init:   m.Crop(y0, x0, t, t),
+			Params: params,
+			Bare:   true,
 		})
 	}
-	if err := cl.RunCtx(c.ctx(), jobs); err != nil {
+	sols, err := c.backend(cl).SolveTiles(c.ctx(), reqs)
+	if err != nil {
 		return nil, err
+	}
+	out := m.Clone()
+	for i, u := range sols {
+		y0, x0 := origins[i][0], origins[i][1]
+		// Paste back only the band straddling the line.
+		var bY0, bX0, bH, bW int
+		if line.Vertical {
+			bY0, bX0 = y0, line.Pos-band
+			bH, bW = t, 2*band
+		} else {
+			bY0, bX0 = line.Pos-band, x0
+			bH, bW = 2*band, t
+		}
+		out.Paste(u.Crop(bY0-y0, bX0-x0, bH, bW), bY0, bX0)
 	}
 	return out, nil
 }

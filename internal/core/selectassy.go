@@ -27,7 +27,7 @@ func OverlapSelect(cfg Config, target *grid.Mat) (res *Result, err error) {
 		return nil, err
 	}
 	cl := c.cluster()
-	simStart := cl.Stats().SimElapsed
+	simStart := c.simElapsed(cl)
 	p, err := tile.Part(cfg.ClipSize, cfg.ClipSize, cfg.TileSize, cfg.Margin)
 	if err != nil {
 		return nil, err
@@ -83,7 +83,7 @@ func OverlapSelect(cfg Config, target *grid.Mat) (res *Result, err error) {
 	if err != nil {
 		return nil, err
 	}
-	tat := cl.Stats().SimElapsed - simStart
+	tat := c.simElapsed(cl) - simStart
 	name := "overlap-select/" + c.solver().Name()
 	return c.evaluate(name, m, target, p.StitchLines(), tat, cl, timeline), nil
 }

@@ -2,10 +2,8 @@ package pipeline
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
-	"math"
 	"strings"
 
 	"mgsilt/internal/grid"
@@ -67,12 +65,8 @@ func WriteCheckpoint(w io.Writer, ck *Checkpoint) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "%s\nflow %s\nstage %d %d\nmask %d %d\n",
 		checkpointMagic, ck.Flow, ck.Stage, ck.Total, ck.Mask.H, ck.Mask.W)
-	buf := make([]byte, 8)
-	for _, v := range ck.Mask.Data {
-		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
-		if _, err := bw.Write(buf); err != nil {
-			return err
-		}
+	if err := WriteMatData(bw, ck.Mask); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
@@ -124,13 +118,9 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if h < 1 || w < 1 || h > MaxCheckpointSide || w > MaxCheckpointSide {
 		return nil, fmt.Errorf("pipeline: checkpoint mask %dx%d out of bounds (max side %d)", h, w, MaxCheckpointSide)
 	}
-	ck.Mask = grid.NewMat(h, w)
-	buf := make([]byte, 8)
-	for i := range ck.Mask.Data {
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, fmt.Errorf("pipeline: truncated checkpoint payload at value %d/%d: %w", i, h*w, err)
-		}
-		ck.Mask.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	ck.Mask, err = ReadMatData(br, h, w)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: truncated checkpoint payload (%dx%d): %w", h, w, err)
 	}
 	if _, err := br.ReadByte(); err != io.EOF {
 		return nil, fmt.Errorf("pipeline: trailing data after checkpoint payload")

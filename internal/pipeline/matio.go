@@ -1,0 +1,65 @@
+package pipeline
+
+import (
+	"encoding/binary"
+	"io"
+	"math"
+
+	"mgsilt/internal/grid"
+)
+
+// Mat payload encoding shared by the on-disk checkpoint format and the
+// shard wire format (internal/shard): H·W float64 values, little-endian,
+// row-major. Exporting the payload codec here keeps every serialised
+// mask in the repository byte-compatible — a checkpoint's payload bytes
+// and a shard solve response's payload bytes are the same encoding.
+
+// WriteMatData writes m's values as little-endian float64s, row-major.
+func WriteMatData(w io.Writer, m *grid.Mat) error {
+	buf := make([]byte, 8*256)
+	i := 0
+	for _, v := range m.Data {
+		binary.LittleEndian.PutUint64(buf[i:], math.Float64bits(v))
+		i += 8
+		if i == len(buf) {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			i = 0
+		}
+	}
+	if i > 0 {
+		if _, err := w.Write(buf[:i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadMatData reads an h×w mat payload written by WriteMatData. The
+// result matrix grows incrementally as bytes actually arrive, so a
+// hostile header promising a huge payload over a short stream cannot
+// provoke a large up-front allocation: memory use is proportional to
+// the data read, never to the claimed dimensions.
+func ReadMatData(r io.Reader, h, w int) (*grid.Mat, error) {
+	n := h * w
+	chunk := 4096
+	if n < chunk {
+		chunk = n
+	}
+	data := make([]float64, 0, chunk)
+	buf := make([]byte, 8*chunk)
+	for len(data) < n {
+		want := n - len(data)
+		if want > chunk {
+			want = chunk
+		}
+		if _, err := io.ReadFull(r, buf[:8*want]); err != nil {
+			return nil, err
+		}
+		for i := 0; i < want; i++ {
+			data = append(data, math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:])))
+		}
+	}
+	return &grid.Mat{H: h, W: w, Data: data}, nil
+}

@@ -184,6 +184,35 @@ func (r *registry) write(w io.Writer, snap snapshot) {
 		fmt.Fprintf(w, "# TYPE ilt_cache_entries gauge\n")
 		fmt.Fprintf(w, "ilt_cache_entries %d\n", cs.Entries)
 	}
+	if ss := snap.shard; ss != nil {
+		fmt.Fprintf(w, "# HELP ilt_shard_workers Configured remote shard worker URLs.\n")
+		fmt.Fprintf(w, "# TYPE ilt_shard_workers gauge\n")
+		fmt.Fprintf(w, "ilt_shard_workers %d\n", snap.shardWorkers)
+		fmt.Fprintf(w, "# HELP ilt_shard_batches_total Tile batches dispatched to shard workers.\n")
+		fmt.Fprintf(w, "# TYPE ilt_shard_batches_total counter\n")
+		fmt.Fprintf(w, "ilt_shard_batches_total %d\n", ss.Batches)
+		fmt.Fprintf(w, "# HELP ilt_shard_rounds_total Shard dispatch rounds (more than one per batch only after a worker loss).\n")
+		fmt.Fprintf(w, "# TYPE ilt_shard_rounds_total counter\n")
+		fmt.Fprintf(w, "ilt_shard_rounds_total %d\n", ss.Rounds)
+		fmt.Fprintf(w, "# HELP ilt_shard_tiles_total Tile solves dispatched to shard workers.\n")
+		fmt.Fprintf(w, "# TYPE ilt_shard_tiles_total counter\n")
+		fmt.Fprintf(w, "ilt_shard_tiles_total %d\n", ss.Tiles)
+		fmt.Fprintf(w, "# HELP ilt_shard_halo_bytes_total Wire payload shipped as overlap-halo diff patches.\n")
+		fmt.Fprintf(w, "# TYPE ilt_shard_halo_bytes_total counter\n")
+		fmt.Fprintf(w, "ilt_shard_halo_bytes_total %d\n", ss.HaloBytes)
+		fmt.Fprintf(w, "# HELP ilt_shard_full_bytes_total Wire payload shipped as full masks (targets, freezes, first-contact inits).\n")
+		fmt.Fprintf(w, "# TYPE ilt_shard_full_bytes_total counter\n")
+		fmt.Fprintf(w, "ilt_shard_full_bytes_total %d\n", ss.FullBytes)
+		fmt.Fprintf(w, "# HELP ilt_shard_reassigned_tiles_total Tiles re-dispatched to survivors after a worker failure.\n")
+		fmt.Fprintf(w, "# TYPE ilt_shard_reassigned_tiles_total counter\n")
+		fmt.Fprintf(w, "ilt_shard_reassigned_tiles_total %d\n", ss.ReassignedTiles)
+		fmt.Fprintf(w, "# HELP ilt_shard_request_retries_total Worker requests retried at the transport level.\n")
+		fmt.Fprintf(w, "# TYPE ilt_shard_request_retries_total counter\n")
+		fmt.Fprintf(w, "ilt_shard_request_retries_total %d\n", ss.RequestRetries)
+		fmt.Fprintf(w, "# HELP ilt_shard_workers_quarantined_total Workers quarantined after exhausting the request retry policy.\n")
+		fmt.Fprintf(w, "# TYPE ilt_shard_workers_quarantined_total counter\n")
+		fmt.Fprintf(w, "ilt_shard_workers_quarantined_total %d\n", ss.WorkersQuarantined)
+	}
 	if bs := snap.sched; bs != nil {
 		fmt.Fprintf(w, "# HELP ilt_sched_requests_total Tile solves routed through the batch scheduler.\n")
 		fmt.Fprintf(w, "# TYPE ilt_sched_requests_total counter\n")

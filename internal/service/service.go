@@ -34,6 +34,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -50,6 +51,7 @@ import (
 	"mgsilt/internal/parallel"
 	"mgsilt/internal/pipeline"
 	"mgsilt/internal/sched"
+	"mgsilt/internal/shard"
 )
 
 // State is a job's lifecycle state.
@@ -268,6 +270,15 @@ type Options struct {
 	// jobs (running ones resume from their last checkpoint). Terminal
 	// jobs reappear as history without their result payloads.
 	StateDir string
+
+	// ShardWorkers, when non-empty, distributes every job's tile
+	// fan-out across these remote iltworker base URLs instead of the
+	// local cluster (internal/shard). Each job gets its own
+	// coordinator (and worker-side session), and results stay
+	// byte-identical to in-process runs at any worker count. The
+	// shared tile cache and batch scheduler do not apply to sharded
+	// tile solves.
+	ShardWorkers []string
 }
 
 func (o Options) withDefaults() Options {
@@ -310,6 +321,12 @@ type Server struct {
 	cache   *cache.Cache   // nil when disabled
 	batcher *sched.Batcher // nil when disabled
 	store   *jobStore      // nil when not durable
+
+	// Shard accounting, aggregated across every finished job's
+	// coordinator (guarded by shardMu; nil stats when not sharding).
+	shardMu    sync.Mutex
+	shardRuns  int64
+	shardStats shard.Stats
 
 	metrics *registry
 }
@@ -807,6 +824,39 @@ func (s *Server) execute(ctx context.Context, spec JobSpec, cl *device.Cluster, 
 	// is what turns per-job tile reuse into cross-job reuse.
 	cfg.TileCache = s.cache
 	cfg.Batch = s.batcher
+	// Remote tile sharding: each job gets a fresh coordinator (its own
+	// worker-side session), so concurrent jobs can never cross halo
+	// bases. The coordinator's accounting is folded into the service's
+	// shard metrics when the flow returns.
+	if len(s.opts.ShardWorkers) > 0 {
+		solver := spec.Solver
+		if solver == "" {
+			solver = "pixel"
+		}
+		coord, err := shard.NewCoordinator(shard.Config{
+			Workers: s.opts.ShardWorkers,
+			N:       spec.N,
+			Solver:  solver,
+			RunID:   fmt.Sprintf("svc-%d-%d", os.Getpid(), s.shardRunID()),
+		})
+		if err != nil {
+			return nil, err
+		}
+		cfg.Tiles = coord
+		defer func() {
+			s.shardMu.Lock()
+			st := coord.Stats()
+			s.shardStats.Batches += st.Batches
+			s.shardStats.Rounds += st.Rounds
+			s.shardStats.Tiles += st.Tiles
+			s.shardStats.HaloBytes += st.HaloBytes
+			s.shardStats.FullBytes += st.FullBytes
+			s.shardStats.ReassignedTiles += st.ReassignedTiles
+			s.shardStats.RequestRetries += st.RequestRetries
+			s.shardStats.WorkersQuarantined += st.WorkersQuarantined
+			s.shardMu.Unlock()
+		}()
+	}
 	cfg.Progress = progress
 	cfg.StageDone = onStage
 	// Every flow runs on the stage-pipeline engine, so every flow
@@ -905,6 +955,14 @@ func (s *Server) target(spec JobSpec) (*grid.Mat, error) {
 	return clip.Target, nil
 }
 
+// shardRunID hands out the per-job shard session counter.
+func (s *Server) shardRunID() int64 {
+	s.shardMu.Lock()
+	defer s.shardMu.Unlock()
+	s.shardRuns++
+	return s.shardRuns
+}
+
 // snapshot aggregates the gauges reported by /healthz and /metrics.
 type snapshot struct {
 	queued, running int
@@ -916,6 +974,11 @@ type snapshot struct {
 	device          device.Stats
 	cache           *cache.Stats // nil when the tile cache is disabled
 	sched           *sched.Stats // nil when the batch scheduler is disabled
+	// shard aggregates the finished jobs' coordinator accounting;
+	// nil when the server is not sharding. shardWorkers is the
+	// configured worker-URL count.
+	shard        *shard.Stats
+	shardWorkers int
 }
 
 func (s *Server) snapshot() snapshot {
@@ -952,6 +1015,13 @@ func (s *Server) snapshot() snapshot {
 	if s.batcher != nil {
 		bs := s.batcher.Stats()
 		snap.sched = &bs
+	}
+	if len(s.opts.ShardWorkers) > 0 {
+		s.shardMu.Lock()
+		ss := s.shardStats
+		s.shardMu.Unlock()
+		snap.shard = &ss
+		snap.shardWorkers = len(s.opts.ShardWorkers)
 	}
 	return snap
 }

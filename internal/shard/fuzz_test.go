@@ -1,0 +1,87 @@
+package shard
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// FuzzShardWire feeds hostile bytes to both wire decoders. The
+// contract under fuzzing: never panic, never allocate more payload
+// than the input actually carries, and anything that decodes must
+// re-encode and decode again cleanly (the format is self-consistent).
+func FuzzShardWire(f *testing.F) {
+	rn := rand.New(rand.NewSource(1))
+	var reqBuf bytes.Buffer
+	if err := WriteSolveRequest(&reqBuf, testRequest(rn)); err != nil {
+		f.Fatal(err)
+	}
+	var respBuf bytes.Buffer
+	err := WriteSolveResponse(&respBuf, &SolveResponse{
+		Tiles: []TileResult{{Index: 2, Mask: randMat(rn, 4, 4)}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(reqBuf.Bytes())
+	f.Add(respBuf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte(wireMagic + "\n"))
+	f.Add([]byte(wireMagic + "\nrequest solve\nsession a\nn 64\nsolver pixel\ntiles 1\n"))
+	f.Add([]byte(wireMagic + "\nresponse solve\nstats 1 0 0 0 0 0\ntiles 4096\n"))
+	g := reqBuf.Bytes()
+	for _, cut := range []int{1, len(g) / 3, len(g) / 2, len(g) - 1} {
+		f.Add(g[:cut])
+	}
+	f.Add(bytes.Replace(g, []byte("tiles 3"), []byte("tiles 4096"), 1))
+	f.Add(bytes.Replace(g, []byte("target full 8 8"), []byte("target full 4096 4096"), 1))
+	f.Add([]byte(wireMagic + "\n" + strings.Repeat("x", 2048)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		if req, err := ReadSolveRequest(bytes.NewReader(data)); err == nil {
+			// A decoded request can only carry payload that was actually
+			// on the wire — the over-allocation defence, stated as an
+			// invariant.
+			payload := 0
+			for i := range req.Tiles {
+				tw := &req.Tiles[i]
+				if tw.Target != nil {
+					payload += 8 * len(tw.Target.Data)
+				}
+				if tw.Freeze != nil {
+					payload += 8 * len(tw.Freeze.Data)
+				}
+				if tw.Init != nil {
+					payload += 8 * len(tw.Init.Data)
+				}
+				if tw.Patch != nil {
+					payload += tw.Patch.payloadBytes()
+				}
+			}
+			if payload > len(data) {
+				t.Fatalf("decoded %d payload bytes from %d input bytes", payload, len(data))
+			}
+			var out bytes.Buffer
+			if err := WriteSolveRequest(&out, req); err != nil {
+				t.Fatalf("decoded request failed to re-encode: %v", err)
+			}
+			if _, err := ReadSolveRequest(bytes.NewReader(out.Bytes())); err != nil {
+				t.Fatalf("re-encoded request failed to decode: %v", err)
+			}
+		}
+		if resp, err := ReadSolveResponse(bytes.NewReader(data)); err == nil {
+			var out bytes.Buffer
+			if err := WriteSolveResponse(&out, resp); err != nil {
+				t.Fatalf("decoded response failed to re-encode: %v", err)
+			}
+			if _, err := ReadSolveResponse(bytes.NewReader(out.Bytes())); err != nil {
+				t.Fatalf("re-encoded response failed to decode: %v", err)
+			}
+		}
+	})
+}
