@@ -10,6 +10,8 @@
 //	ablation — design-choice sweep of the multigrid-Schwarz flow
 //	mrc      — manufacturability-rule violations at stitch lines
 //	cache    — shared tile-cache cold vs warm on a repeated-cell clip
+//	scaling  — two-level vs one-level Schwarz iterations-to-quality on
+//	           2×2 → 8×8 tile grids, plus the convergence-dropout rate
 //	all      — everything above
 //
 // Scale is selected with -scale (small | default | full); "full" is
@@ -43,7 +45,7 @@ import (
 func main() {
 	var (
 		scaleName  = flag.String("scale", "small", "experiment scale: small | default | full")
-		experiment = flag.String("experiment", "table1", "comma-separated list of table1 | fig6 | fig7 | fig8 | speedup | penalty | ablation | mrc | cache, or all")
+		experiment = flag.String("experiment", "table1", "comma-separated list of table1 | fig6 | fig7 | fig8 | speedup | penalty | ablation | mrc | cache | scaling, or all")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		jsonPath   = flag.String("json", "", "also write machine-readable per-method metrics JSON to this file")
 		verbose    = flag.Bool("v", false, "print per-run progress")
@@ -205,6 +207,18 @@ func main() {
 				doc.CacheHitRate = &hr
 			}
 			emit(name, "Serving: shared tile cache, cold vs warm", res.Render(), nil)
+		case "scaling":
+			res, err := env.RunScaling(progress)
+			if err != nil {
+				fatal(err)
+			}
+			if *jsonPath != "" {
+				itq := res.IterationsToQuality()
+				doc.IterationsToQuality = &itq
+				dr := res.DroppedRate()
+				doc.TilesDroppedRate = &dr
+			}
+			emit(name, "Scaling: two-level vs one-level Schwarz by tile count", res.Render(), nil)
 		default:
 			fmt.Fprintf(os.Stderr, "iltbench: unknown experiment %q\n", name)
 			os.Exit(2)
@@ -212,7 +226,7 @@ func main() {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"table1", "fig6", "fig7", "fig8", "speedup", "penalty", "ablation", "mrc", "cache"} {
+		for _, name := range []string{"table1", "fig6", "fig7", "fig8", "speedup", "penalty", "ablation", "mrc", "cache", "scaling"} {
 			run(name)
 		}
 	} else {

@@ -69,6 +69,10 @@ func main() {
 		batchSize = flag.Int("batch-size", 0, "tile batch scheduler flush threshold (<2 disables batching)")
 		repeat    = flag.Bool("repeat-cells", false, "optimise a repeated standard-cell clip (layout.GenerateRepeat) instead of random routing — the workload the tile cache accelerates")
 		shardURLs = flag.String("shard-workers", "", "comma-separated iltworker base URLs; tile solves shard across them (byte-identical to in-process at any count)")
+		correct   = flag.Bool("coarse-correct", false, "two-level Schwarz: run a coarse-grid correction between fine stages (method ours only)")
+		dropTol   = flag.Float64("drop-tol", 0, "per-tile convergence dropout tolerance (per-pixel RMS; 0 disables; method ours only)")
+		dropWin   = flag.Int("drop-window", 0, "consecutive stages drop-tol must hold before a tile retires (0 = default)")
+		fineStg   = flag.Int("fine-stages", 0, "fine Schwarz stage count (0 = default; method ours only)")
 		maskRaw   = flag.String("mask-raw", "", "write the final mask to this file in the versioned checkpoint format, for byte-level comparison (cmp) across runs")
 	)
 	flag.Parse()
@@ -154,6 +158,12 @@ func main() {
 		}
 		cfg.Tiles = coord
 	}
+	cfg.CoarseCorrect = *correct
+	cfg.DropTol = *dropTol
+	cfg.DropWindow = *dropWin
+	if *fineStg > 0 {
+		cfg.FineStages = *fineStg
+	}
 	chaos := *faultRate > 0 || *faultHard > 0
 	if chaos {
 		cfg.Cluster.Injector = fault.NewSeeded(*faultSeed).
@@ -219,6 +229,10 @@ func main() {
 	if chaos {
 		fmt.Printf("chaos        : %d retries, %d device(s) quarantined (reproduce with -fault-seed %d -fault-rate %g -fault-hard %g)\n",
 			res.Stats.Retries, res.Stats.Quarantined, *faultSeed, *faultRate, *faultHard)
+	}
+	if *correct || *dropTol > 0 {
+		fmt.Printf("two-level    : %d coarse corrections; dropout: %d tiles converged, %d solves skipped (tol %g)\n",
+			res.CoarseCorrections, res.TilesConverged, res.TileSolvesSkipped, *dropTol)
 	}
 	if cfg.TileCache != nil {
 		cs := cfg.TileCache.Stats()

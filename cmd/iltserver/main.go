@@ -53,6 +53,8 @@ func main() {
 		batchWait = flag.Duration("batch-wait", 0, "max time a tile waits for batch peers (0 = scheduler default)")
 		stateDir  = flag.String("state-dir", "", "durable job-queue journal directory; pending jobs resume after a restart")
 		shardURLs = flag.String("shard-workers", "", "comma-separated iltworker base URLs; every job's tile solves shard across them (byte-identical to in-process)")
+		correct   = flag.Bool("coarse-correct", false, "default two-level Schwarz coarse correction for jobs that do not override coarse_correct")
+		dropTol   = flag.Float64("drop-tol", 0, "default per-tile convergence dropout tolerance for jobs that do not override drop_tol (0 disables)")
 	)
 	flag.Parse()
 
@@ -76,6 +78,8 @@ func main() {
 		BatchWait:        *batchWait,
 		StateDir:         *stateDir,
 		ShardWorkers:     shardWorkers,
+		CoarseCorrect:    *correct,
+		DropTol:          *dropTol,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the race detector is active; the scaling
+// smoke test skips under it — minutes of instrumented FFT compute for
+// a sweep whose logic the non-race coverage job already pins.
+const raceEnabled = true

@@ -94,8 +94,22 @@ type Doc struct {
 	// (nil or 1) run. TATs measured at different shard counts are not
 	// comparable, so benchdiff treats any other mismatch as
 	// incomparable rather than as a regression.
-	ShardCount  *int         `json:"shard_count,omitempty"`
-	Experiments []Experiment `json:"experiments"`
+	ShardCount *int `json:"shard_count,omitempty"`
+	// IterationsToQuality is the scaling experiment's headline number:
+	// solver iterations the two-level (coarse-corrected) Schwarz flow
+	// needs to reach the fixed quality bar at the largest (8×8) tile
+	// grid. Tri-state like LossGradAllocs — nil means the producer
+	// predates the scaling experiment. The sweep is deterministic per
+	// code version, so growth means the coarse space got weaker, not
+	// that a run got unlucky.
+	IterationsToQuality *float64 `json:"iterations_to_quality,omitempty"`
+	// TilesDroppedRate is the fraction (0..1) of fine-stage tile solves
+	// the convergence-dropout phase of the scaling experiment skipped.
+	// Tri-state like IterationsToQuality; a drop means tiles stopped
+	// reaching the DropTol criterion, i.e. per-tile convergence got
+	// slower.
+	TilesDroppedRate *float64     `json:"tiles_dropped_rate,omitempty"`
+	Experiments      []Experiment `json:"experiments"`
 }
 
 // WriteFile marshals the document with stable indentation.
@@ -143,6 +157,12 @@ func (d *Doc) Validate() error {
 	}
 	if s := d.ShardCount; s != nil && *s < 1 {
 		return fmt.Errorf("benchfmt: shard_count %d must be >= 1", *s)
+	}
+	if q := d.IterationsToQuality; q != nil && (math.IsNaN(*q) || math.IsInf(*q, 0) || *q < 0) {
+		return fmt.Errorf("benchfmt: invalid iterations_to_quality %v", *q)
+	}
+	if r := d.TilesDroppedRate; r != nil && (math.IsNaN(*r) || *r < 0 || *r > 1) {
+		return fmt.Errorf("benchfmt: tiles_dropped_rate %v outside [0,1]", *r)
 	}
 	for i := range d.Experiments {
 		e := &d.Experiments[i]
@@ -362,6 +382,41 @@ func Compare(base, cur *Doc, opts CompareOptions) (*Result, error) {
 			res.Regressions = append(res.Regressions, Finding{
 				Experiment: "cache", Method: "TileCache", Metric: "hit-rate",
 				Base: *base.CacheHitRate, Cur: *cur.CacheHitRate, Rel: rel,
+			})
+		}
+	}
+	// Convergence gate: like the allocation gate, iterations-to-quality
+	// is deterministic per code version and must not grow — more
+	// iterations at 8×8 means the coarse space lost effectiveness. The
+	// absolute slack is one fine stage's budget, absorbing threshold
+	// quantisation at the stage boundary.
+	if base.IterationsToQuality != nil && cur.IterationsToQuality != nil {
+		res.Checked++
+		const iterSlack = 4.0
+		if *cur.IterationsToQuality > *base.IterationsToQuality+iterSlack {
+			rel := math.Inf(1)
+			if *base.IterationsToQuality > 0 {
+				rel = *cur.IterationsToQuality / *base.IterationsToQuality - 1
+			}
+			res.Regressions = append(res.Regressions, Finding{
+				Experiment: "scaling", Method: "TwoLevel", Metric: "iters-to-quality",
+				Base: *base.IterationsToQuality, Cur: *cur.IterationsToQuality, Rel: rel,
+			})
+		}
+	}
+	// Dropout gate: inverted like the cache gate — the dropped-solve
+	// rate must not fall, or per-tile convergence detection got weaker.
+	if base.TilesDroppedRate != nil && cur.TilesDroppedRate != nil {
+		res.Checked++
+		const dropRateSlack = 0.02
+		if *cur.TilesDroppedRate < *base.TilesDroppedRate-dropRateSlack {
+			rel := 0.0
+			if *base.TilesDroppedRate > 0 {
+				rel = *cur.TilesDroppedRate / *base.TilesDroppedRate - 1
+			}
+			res.Regressions = append(res.Regressions, Finding{
+				Experiment: "scaling", Method: "Dropout", Metric: "dropped-rate",
+				Base: *base.TilesDroppedRate, Cur: *cur.TilesDroppedRate, Rel: rel,
 			})
 		}
 	}

@@ -21,6 +21,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -154,7 +155,68 @@ type Config struct {
 	// opening of radius r removes features thinner than 2r+1 px.
 	// 0 disables cleaning.
 	CoarseClean int
+
+	// CoarseCorrect enables the two-level Schwarz correction: between
+	// consecutive fine Schwarz stages the flow restricts the assembled
+	// layout to a coarse grid, runs a short coarse ILT correction step
+	// against the restricted target, lifts the result back and adds the
+	// difference against the layout's own restrict-then-lift round trip
+	// (an FAS-style coarse-space correction). One-level Schwarz
+	// convergence degrades as the tile count grows because information
+	// crosses at most one overlap per stage; the coarse space restores
+	// global coupling, making iterations-to-quality near tile-count
+	// independent (the Snippet-1 scalability result, measured by
+	// `iltbench -experiment scaling`). Off by default; the default
+	// schedule is bit-identical with it off.
+	CoarseCorrect bool
+	// CoarseCorrectScale is the restriction factor of the correction
+	// grid: coarse tiles are CoarseCorrectScale·TileSize wide and are
+	// downsampled by the same factor before solving. Power of two, ≥ 2,
+	// with CoarseCorrectScale·TileSize ≤ ClipSize; 0 selects CoarseScale
+	// when the cascade is enabled, else 2. ClipSize/TileSize makes the
+	// correction a single global coarse solve.
+	CoarseCorrectScale int
+	// CoarseCorrectIters is the solver budget of each correction step;
+	// 0 selects max(1, CoarseIters/4).
+	CoarseCorrectIters int
+	// CoarseCorrectBlend is the step size α applied to the lifted
+	// correction (layout ← clamp(layout + α·δ)); in (0, 1], 0 selects 1.
+	CoarseCorrectBlend float64
+
+	// DropTol enables per-tile convergence dropout when positive: a
+	// tile whose fine-stage solution changes by at most DropTol
+	// (per-pixel RMS against its previous solution) for DropWindow
+	// consecutive stages is converged and drops out of the remaining
+	// fine stages. Dropped tiles are not dispatched to the backend at
+	// all — the tile cache, the batch scheduler and the shard
+	// coordinator simply see smaller batches — and contribute their
+	// current assembled state instead, which the partition-of-unity
+	// weights reproduce exactly. 0 (the default) disables dropout and
+	// keeps every flow bit-identical to the always-solve schedule.
+	//
+	// Dropout state is not part of the checkpoint: a resumed run
+	// conservatively re-solves every tile until the criterion
+	// re-establishes, so a resume with DropTol > 0 may do (slightly
+	// more) work than the uninterrupted run would have.
+	DropTol float64
+	// DropWindow is the number of consecutive stages DropTol must hold
+	// for before a tile is declared converged; 0 selects 1.
+	DropWindow int
 }
+
+// Sentinel validation errors, matchable with errors.Is; Validate wraps
+// them with the offending values.
+var (
+	// ErrCoarseScale rejects an Algorithm-1 cascade scale that is not a
+	// power of two or whose coarsest tile exceeds the clip.
+	ErrCoarseScale = errors.New("invalid coarse scale")
+	// ErrCoarseCorrectScale rejects a two-level correction grid whose
+	// scale is not a power of two ≥ 2 or whose coarse tile exceeds the
+	// clip.
+	ErrCoarseCorrectScale = errors.New("invalid coarse-correct scale")
+	// ErrDropSchedule rejects a negative dropout tolerance or window.
+	ErrDropSchedule = errors.New("invalid dropout schedule")
+)
 
 // DefaultConfig returns the experiment configuration used throughout
 // the suite, scaled from the paper's geometry: tile = N, margin = N/4
@@ -219,7 +281,21 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: blend width %d invalid for margin %d", c.BlendWidth, c.Margin)
 	}
 	if c.CoarseScale != 0 && (!fft.IsPow2(c.CoarseScale) || c.CoarseScale*c.TileSize > c.ClipSize) {
-		return fmt.Errorf("core: coarse scale %d invalid for clip %d / tile %d", c.CoarseScale, c.ClipSize, c.TileSize)
+		return fmt.Errorf("core: %w: %d for clip %d / tile %d", ErrCoarseScale, c.CoarseScale, c.ClipSize, c.TileSize)
+	}
+	if s := c.CoarseCorrectScale; s != 0 && (s < 2 || !fft.IsPow2(s) || s*c.TileSize > c.ClipSize) {
+		return fmt.Errorf("core: %w: %d for clip %d / tile %d", ErrCoarseCorrectScale, s, c.ClipSize, c.TileSize)
+	}
+	if c.CoarseCorrect {
+		if s := c.coarseCorrectScale(); s*c.TileSize > c.ClipSize {
+			return fmt.Errorf("core: %w: resolved scale %d for clip %d / tile %d", ErrCoarseCorrectScale, s, c.ClipSize, c.TileSize)
+		}
+	}
+	if c.CoarseCorrectIters < 0 || c.CoarseCorrectBlend < 0 || c.CoarseCorrectBlend > 1 {
+		return fmt.Errorf("core: coarse-correct schedule %d iters / blend %g invalid", c.CoarseCorrectIters, c.CoarseCorrectBlend)
+	}
+	if c.DropTol < 0 || c.DropWindow < 0 {
+		return fmt.Errorf("core: %w: tol %g / window %d", ErrDropSchedule, c.DropTol, c.DropWindow)
 	}
 	if c.FineStages < 1 || c.FineIters < c.FineStages {
 		return fmt.Errorf("core: fine schedule %d iters / %d stages invalid", c.FineIters, c.FineStages)
@@ -237,6 +313,19 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: heal band %d out of range", c.HealBand)
 	}
 	return nil
+}
+
+// coarseCorrectScale resolves the correction grid's restriction
+// factor: CoarseCorrectScale when set, else the cascade's CoarseScale
+// when enabled, else 2.
+func (c *Config) coarseCorrectScale() int {
+	if c.CoarseCorrectScale != 0 {
+		return c.CoarseCorrectScale
+	}
+	if c.CoarseScale >= 2 {
+		return c.CoarseScale
+	}
+	return 2
 }
 
 func (c *Config) solver() opt.Solver {
@@ -314,6 +403,15 @@ type Result struct {
 	Lines    []tile.StitchLine // stitch lines evaluated
 	AuxLines []tile.StitchLine // extra boundaries (stitch-and-heal windows)
 	Stats    device.Stats      // cluster accounting snapshot
+
+	// Two-level Schwarz accounting (multigrid-Schwarz flow only; all
+	// zero when CoarseCorrect and DropTol are off): tiles that reached
+	// the DropTol convergence criterion, fine-stage tile solves dropout
+	// skipped, and coarse-correction stages executed. Resume-skipped
+	// stages contribute nothing (the counters reflect executed work).
+	TilesConverged    int
+	TileSolvesSkipped int
+	CoarseCorrections int
 
 	// Timeline is the engine's per-stage wall-time record for the
 	// stages this run actually executed (resume-skipped stages do not

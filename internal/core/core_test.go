@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -75,29 +76,81 @@ func TestDefaultConfigGeometry(t *testing.T) {
 
 func TestValidateRejectsBadConfigs(t *testing.T) {
 	sim := testSim(t)
-	mutations := []func(*Config){
-		func(c *Config) { c.Sim = nil },
-		func(c *Config) { c.ClipSize = 96 },
-		func(c *Config) { c.TileSize = 48 },
-		func(c *Config) { c.Margin = 40 },
-		func(c *Config) { c.BlendWidth = 33 },
-		func(c *Config) { c.BlendWidth = 100 },
-		func(c *Config) { c.CoarseScale = 3 },
-		func(c *Config) { c.CoarseScale = 4 }, // 4·64 > 128
-		func(c *Config) { c.FineStages = 0 },
-		func(c *Config) { c.FineIters = 1; c.FineStages = 2 },
-		func(c *Config) { c.BaselineIters = 0 },
-		func(c *Config) { c.LR = 0 },
-		func(c *Config) { c.RefineLR = -1 },
-		func(c *Config) { c.HealBand = 0 },
-		func(c *Config) { c.HealBand = 32 },
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		// want, when non-nil, is the sentinel the returned error must
+		// match via errors.Is — asserting identity, not message text.
+		want error
+	}{
+		{name: "nil sim", mutate: func(c *Config) { c.Sim = nil }},
+		{name: "clip not pow2 multiple", mutate: func(c *Config) { c.ClipSize = 96 }},
+		{name: "tile not pow2 multiple", mutate: func(c *Config) { c.TileSize = 48 }},
+		{name: "margin too large", mutate: func(c *Config) { c.Margin = 40 }},
+		{name: "blend width odd", mutate: func(c *Config) { c.BlendWidth = 33 }},
+		{name: "blend width beyond overlap", mutate: func(c *Config) { c.BlendWidth = 100 }},
+		{name: "coarse scale not pow2", mutate: func(c *Config) { c.CoarseScale = 3 }, want: ErrCoarseScale},
+		{name: "coarse tile exceeds clip", mutate: func(c *Config) { c.CoarseScale = 4 }, want: ErrCoarseScale}, // 4·64 > 128
+		{name: "correct scale not pow2", mutate: func(c *Config) { c.CoarseCorrectScale = 3 }, want: ErrCoarseCorrectScale},
+		{name: "correct scale below 2", mutate: func(c *Config) { c.CoarseCorrectScale = 1 }, want: ErrCoarseCorrectScale},
+		{name: "correct tile exceeds clip", mutate: func(c *Config) { c.CoarseCorrectScale = 4 }, want: ErrCoarseCorrectScale},
+		{
+			name: "correction on with oversized cascade scale",
+			mutate: func(c *Config) {
+				// The resolved correction grid inherits CoarseScale; an
+				// (independently invalid) cascade must not slip through
+				// the CoarseCorrect resolution path either.
+				c.CoarseCorrect = true
+				c.CoarseScale = 4
+			},
+			want: ErrCoarseScale,
+		},
+		{name: "negative drop tolerance", mutate: func(c *Config) { c.DropTol = -0.1 }, want: ErrDropSchedule},
+		{name: "negative drop window", mutate: func(c *Config) { c.DropWindow = -1 }, want: ErrDropSchedule},
+		{name: "negative correct iters", mutate: func(c *Config) { c.CoarseCorrectIters = -1 }},
+		{name: "correct blend above 1", mutate: func(c *Config) { c.CoarseCorrectBlend = 1.5 }},
+		{name: "no fine stages", mutate: func(c *Config) { c.FineStages = 0 }},
+		{name: "fine iters below stages", mutate: func(c *Config) { c.FineIters = 1; c.FineStages = 2 }},
+		{name: "zero baseline iters", mutate: func(c *Config) { c.BaselineIters = 0 }},
+		{name: "zero LR", mutate: func(c *Config) { c.LR = 0 }},
+		{name: "negative refine LR", mutate: func(c *Config) { c.RefineLR = -1 }},
+		{name: "heal band zero", mutate: func(c *Config) { c.HealBand = 0 }},
+		{name: "heal band too wide", mutate: func(c *Config) { c.HealBand = 32 }},
 	}
-	for i, mutate := range mutations {
-		cfg := DefaultConfig(sim, testClip, 10)
-		mutate(&cfg)
-		if err := cfg.Validate(); err == nil {
-			t.Fatalf("mutation %d should be invalid", i)
-		}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(sim, testClip, 10)
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("config should be invalid")
+			}
+			if tc.want != nil && !errors.Is(err, tc.want) {
+				t.Fatalf("error %v does not match sentinel %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateCoarseScaleBoundary(t *testing.T) {
+	// CoarseScale·TileSize == ClipSize is the largest legal cascade (a
+	// single coarse tile covering the whole clip); one step beyond is
+	// rejected. The boundary itself must stay valid — the scaling
+	// experiment's global coarse correction depends on it.
+	sim := testSim(t)
+	cfg := DefaultConfig(sim, testClip, 10)
+	cfg.CoarseScale = testClip / cfg.TileSize // 2·64 == 128
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("boundary coarse scale rejected: %v", err)
+	}
+	cfg.CoarseCorrectScale = testClip / cfg.TileSize
+	cfg.CoarseCorrect = true
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("boundary coarse-correct scale rejected: %v", err)
+	}
+	cfg.CoarseCorrectScale = 2 * testClip / cfg.TileSize
+	if err := cfg.Validate(); !errors.Is(err, ErrCoarseCorrectScale) {
+		t.Fatalf("beyond-clip correct scale: got %v, want ErrCoarseCorrectScale", err)
 	}
 }
 

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"mgsilt/internal/cache"
+	"mgsilt/internal/device"
+	"mgsilt/internal/sched"
+)
+
+// dropoutConfig is the calibrated dropout geometry shared by the
+// interaction tests: a long fine schedule with no refine tail, so
+// stage-over-stage tile movement actually falls under DropTol and
+// tiles retire mid-run.
+func dropoutConfig(t testing.TB) Config {
+	t.Helper()
+	cfg := testConfig(t, testSim(t), 8)
+	cfg.FineStages = 4
+	cfg.FineIters = 16
+	cfg.RefineIters = 0
+	cfg.DropTol = 0.1
+	cl, err := device.NewCluster(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cluster = cl
+	return cfg
+}
+
+// Dropout decisions are a pure function of the solved tile states, so
+// a warm cache — which replays those states bit-identically — must
+// reproduce the cold run's mask AND its dropout accounting. A warm run
+// that stopped reporting TilesConverged/TileSolvesSkipped would make
+// the dropout metrics lie under cache reuse.
+func TestDropoutWarmCacheKeepsStats(t *testing.T) {
+	target := testClipTarget(t, 21)
+	shared, err := cache.New(cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func() *Result {
+		cfg := dropoutConfig(t)
+		cfg.TileCache = shared
+		res, err := MultigridSchwarz(cfg, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cold := run()
+	if cold.TilesConverged == 0 || cold.TileSolvesSkipped == 0 {
+		t.Fatalf("cold run did no dropout work: %d converged, %d skipped",
+			cold.TilesConverged, cold.TileSolvesSkipped)
+	}
+	warmBase := shared.Stats()
+	warm := run()
+	if delta := shared.Stats().Sub(warmBase); delta.Misses != 0 {
+		t.Fatalf("warm run missed the cache %d times", delta.Misses)
+	}
+	if !warm.Mask.Equal(cold.Mask) {
+		t.Fatal("warm cached mask differs from cold run under dropout")
+	}
+	if warm.TilesConverged != cold.TilesConverged || warm.TileSolvesSkipped != cold.TileSolvesSkipped {
+		t.Fatalf("warm run dropout stats %d/%d differ from cold %d/%d",
+			warm.TilesConverged, warm.TileSolvesSkipped,
+			cold.TilesConverged, cold.TileSolvesSkipped)
+	}
+}
+
+// Routing the non-converged tile subset through the batch scheduler
+// must not move a bit or a counter: dropout shrinks the batches, it
+// does not change their contents.
+func TestDropoutBatcherBitIdentical(t *testing.T) {
+	target := testClipTarget(t, 21)
+
+	run := func(b *sched.Batcher) *Result {
+		cfg := dropoutConfig(t)
+		cfg.Batch = b
+		res, err := MultigridSchwarz(cfg, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(nil)
+	if plain.TilesConverged == 0 || plain.TileSolvesSkipped == 0 {
+		t.Fatalf("run did no dropout work: %d converged, %d skipped",
+			plain.TilesConverged, plain.TileSolvesSkipped)
+	}
+	b := sched.New(sched.Options{BatchSize: 4})
+	batched := run(b)
+	if !batched.Mask.Equal(plain.Mask) {
+		t.Fatal("batched mask differs from direct solve under dropout")
+	}
+	if batched.TilesConverged != plain.TilesConverged || batched.TileSolvesSkipped != plain.TileSolvesSkipped {
+		t.Fatalf("batched dropout stats %d/%d differ from plain %d/%d",
+			batched.TilesConverged, batched.TileSolvesSkipped,
+			plain.TilesConverged, plain.TileSolvesSkipped)
+	}
+	if st := b.Stats(); st.Requests == 0 {
+		t.Fatal("batcher saw no requests — scheduler not wired into the dropout path")
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 
 	"mgsilt/internal/device"
@@ -200,6 +201,32 @@ func MultigridSchwarz(cfg Config, target *grid.Mat) (res *Result, err error) {
 	// The Eq. (11) Dirichlet masks: each tile may update its core plus
 	// half the blend band; beyond that it holds the neighbours' data.
 	freeze := p.FreezeMasks(cfg.BlendWidth / 2)
+
+	// Two-level Schwarz bookkeeping. The coarse-correct stages slot
+	// between consecutive fine stages; the dropout state persists
+	// across fine stages through these closure variables (it is not
+	// checkpointed — see Config.DropTol).
+	correctTotal := 0
+	if cfg.CoarseCorrect && cfg.FineStages > 1 {
+		correctTotal = cfg.FineStages - 1
+	}
+	dropWindow := cfg.DropWindow
+	if dropWindow < 1 {
+		dropWindow = 1
+	}
+	var (
+		prevSol    []*grid.Mat // last fine solution per tile
+		belowCount []int
+		converged  []bool
+
+		tilesConverged, solvesSkipped, corrections int
+	)
+	if cfg.DropTol > 0 {
+		prevSol = make([]*grid.Mat, len(p.Tiles))
+		belowCount = make([]int, len(p.Tiles))
+		converged = make([]bool, len(p.Tiles))
+	}
+
 	perStage := cfg.FineIters / cfg.FineStages
 	extra := cfg.FineIters - perStage*cfg.FineStages
 	for stage := 0; stage < cfg.FineStages; stage++ {
@@ -211,13 +238,76 @@ func MultigridSchwarz(cfg Config, target *grid.Mat) (res *Result, err error) {
 			Name: "fine", Iter: stage + 1, Total: cfg.FineStages,
 			Run: func(_ context.Context, m *grid.Mat) (*grid.Mat, error) {
 				params := opt.Params{Iters: iters, LR: cfg.LR, Stretch: 1, PVWeight: cfg.PVWeight}
-				tiles, err := c.solveTiles(cl, p, m, target, params, nil, freeze)
+				if cfg.DropTol <= 0 {
+					tiles, err := c.solveTiles(cl, p, m, target, params, nil, freeze)
+					if err != nil {
+						return nil, err
+					}
+					return p.Assemble(tiles, weights), nil
+				}
+
+				// Dropout: only non-converged tiles are dispatched.
+				indices := make([]int, 0, len(p.Tiles))
+				for i := range p.Tiles {
+					if !converged[i] {
+						indices = append(indices, i)
+					}
+				}
+				solvesSkipped += len(p.Tiles) - len(indices)
+				if len(indices) == 0 {
+					// Every tile is converged: the partition-of-unity
+					// assembly of unmodified crops reproduces m exactly,
+					// so the stage is a no-op.
+					return m, nil
+				}
+				tiles, err := c.solveTiles(cl, p, m, target, params, indices, freeze)
 				if err != nil {
 					return nil, err
+				}
+				// Convergence detection on the solved tiles: per-pixel
+				// RMS change against the previous fine solution, DropTol
+				// held for DropWindow consecutive stages. Decisions are a
+				// pure function of the (deterministic) solutions, so any
+				// backend at any parallelism drops the same tiles.
+				for _, idx := range indices {
+					if prev := prevSol[idx]; prev != nil {
+						rms := math.Sqrt(tiles[idx].L2Diff(prev) / float64(p.Tile*p.Tile))
+						if rms <= cfg.DropTol {
+							belowCount[idx]++
+							if belowCount[idx] >= dropWindow {
+								converged[idx] = true
+								tilesConverged++
+							}
+						} else {
+							belowCount[idx] = 0
+						}
+					}
+					prevSol[idx] = tiles[idx]
+				}
+				// Dropped tiles contribute their current assembled state:
+				// cropping m is the identity update, which the weights
+				// reproduce exactly over the dropped regions.
+				for i, spec := range p.Tiles {
+					if tiles[i] == nil {
+						tiles[i] = m.Crop(spec.Y0, spec.X0, p.Tile, p.Tile)
+					}
 				}
 				return p.Assemble(tiles, weights), nil
 			},
 		})
+		if correctTotal > 0 && stage < cfg.FineStages-1 {
+			stages = append(stages, pipeline.Stage{
+				Name: "coarse-correct", Iter: stage + 1, Total: correctTotal,
+				Run: func(_ context.Context, m *grid.Mat) (*grid.Mat, error) {
+					out, err := c.coarseCorrect(cl, m, target)
+					if err != nil {
+						return nil, err
+					}
+					corrections++
+					return out, nil
+				},
+			})
+		}
 	}
 
 	// Refine: multi-colour multiplicative Schwarz. Same-colour tiles
@@ -249,7 +339,59 @@ func MultigridSchwarz(cfg Config, target *grid.Mat) (res *Result, err error) {
 		return nil, err
 	}
 	tat := c.simElapsed(cl) - simStart
-	return c.evaluate("multigrid-schwarz", m, target, p.StitchLines(), tat, cl, timeline), nil
+	res = c.evaluate("multigrid-schwarz", m, target, p.StitchLines(), tat, cl, timeline)
+	res.TilesConverged = tilesConverged
+	res.TileSolvesSkipped = solvesSkipped
+	res.CoarseCorrections = corrections
+	return res, nil
+}
+
+// coarseCorrect applies one two-level Schwarz correction to the
+// assembled layout m: restrict m to the correction grid, run a short
+// coarse ILT step against the restricted target, lift the solution
+// back, and add the difference against m's own restrict-then-lift
+// round trip — an FAS-style correction, so a solver that returns its
+// initialisation unchanged yields δ = 0 and the stage is an exact
+// no-op. The correction supplies the global coupling one-level Schwarz
+// lacks: residual components spanning many tiles are fixed in one
+// coarse solve instead of leaking across tile borders one overlap per
+// stage (SNIPPETS.md Snippet 1).
+func (c *Config) coarseCorrect(cl *device.Cluster, m, target *grid.Mat) (*grid.Mat, error) {
+	s := c.coarseCorrectScale()
+	pc, err := tile.Part(c.ClipSize, c.ClipSize, s*c.TileSize, s*c.Margin)
+	if err != nil {
+		return nil, fmt.Errorf("core: coarse-correct grid s=%d: %w", s, err)
+	}
+	iters := c.CoarseCorrectIters
+	if iters < 1 {
+		iters = c.CoarseIters / 4
+		if iters < 1 {
+			iters = 1
+		}
+	}
+	params := opt.Params{Iters: iters, LR: c.LR, Stretch: s, PVWeight: c.PVWeight}
+	sols, err := c.solveCoarseTiles(cl, pc, m, target, s, params)
+	if err != nil {
+		return nil, err
+	}
+	w, err := pc.Weights(0)
+	if err != nil {
+		return nil, err
+	}
+	solved := pc.Assemble(sols, w)
+	// The FAS base state: m itself through the same restriction and
+	// lift, so δ measures only what the coarse solver changed, not the
+	// resampling blur.
+	base := make([]*grid.Mat, len(pc.Tiles))
+	for i, spec := range pc.Tiles {
+		base[i] = m.Crop(spec.Y0, spec.X0, pc.Tile, pc.Tile).Downsample(s).UpsampleBilinear(s)
+	}
+	delta := solved.Sub(pc.Assemble(base, w))
+	alpha := c.CoarseCorrectBlend
+	if alpha == 0 {
+		alpha = 1
+	}
+	return m.Clone().AddScaled(delta, alpha).Clamp(0, 1), nil
 }
 
 // DivideAndConquer runs the traditional baseline: every tile optimised

@@ -19,7 +19,9 @@ func TestStageSequenceFreeze(t *testing.T) {
 	target := testClipTarget(t, 7)
 
 	cases := []struct {
+		name   string // subtest name; empty → flow
 		flow   string // engine flow name == checkpoint Flow
+		mutate func(*Config)
 		run    func(Config, *grid.Mat) (*Result, error)
 		stages []string // engine stages + the trailing evaluate "inspect"
 	}{
@@ -29,6 +31,15 @@ func TestStageSequenceFreeze(t *testing.T) {
 			// iters=4 schedule: CoarseScale=2 → one coarse level,
 			// FineIters=2 over FineStages=2, RefineIters=1.
 			stages: []string{"coarse 1/1", "fine 1/2", "fine 2/2", "refine 1/1", "inspect 1/1"},
+		},
+		{
+			name:   "multigrid-schwarz/coarse-correct",
+			flow:   "multigrid-schwarz",
+			mutate: func(c *Config) { c.CoarseCorrect = true },
+			run:    MultigridSchwarz,
+			// Two-level Schwarz interleaves one correction between each
+			// pair of fine stages: FineStages=2 → one coarse-correct.
+			stages: []string{"coarse 1/1", "fine 1/2", "coarse-correct 1/1", "fine 2/2", "refine 1/1", "inspect 1/1"},
 		},
 		{
 			flow:   "divide-and-conquer",
@@ -53,9 +64,16 @@ func TestStageSequenceFreeze(t *testing.T) {
 		},
 	}
 	for _, tc := range cases {
-		t.Run(tc.flow, func(t *testing.T) {
+		name := tc.name
+		if name == "" {
+			name = tc.flow
+		}
+		t.Run(name, func(t *testing.T) {
 			cfg := testConfig(t, sim, 4)
 			cfg.Solver = identitySolver{}
+			if tc.mutate != nil {
+				tc.mutate(&cfg)
+			}
 
 			var done, progress []string
 			var cps []Checkpoint

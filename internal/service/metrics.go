@@ -40,6 +40,9 @@ type registry struct {
 	nRecovered uint64
 	nFinished  map[State]uint64
 	stages     map[string]*histogram
+
+	nTilesConverged    uint64
+	nCoarseCorrections uint64
 }
 
 func newRegistry() *registry {
@@ -70,6 +73,13 @@ func (r *registry) recovered(n int) {
 func (r *registry) finished(st State) {
 	r.mu.Lock()
 	r.nFinished[st]++
+	r.mu.Unlock()
+}
+
+func (r *registry) twoLevel(tilesConverged, coarseCorrections int) {
+	r.mu.Lock()
+	r.nTilesConverged += uint64(tilesConverged)
+	r.nCoarseCorrections += uint64(coarseCorrections)
 	r.mu.Unlock()
 }
 
@@ -106,6 +116,14 @@ func (r *registry) write(w io.Writer, snap snapshot) {
 	for _, st := range []State{StateDone, StateFailed, StateCancelled} {
 		fmt.Fprintf(w, "ilt_jobs_finished_total{state=%q} %d\n", st, r.nFinished[st])
 	}
+
+	fmt.Fprintf(w, "# HELP ilt_tiles_converged_total Tiles retired early by per-tile convergence dropout across finished jobs.\n")
+	fmt.Fprintf(w, "# TYPE ilt_tiles_converged_total counter\n")
+	fmt.Fprintf(w, "ilt_tiles_converged_total %d\n", r.nTilesConverged)
+
+	fmt.Fprintf(w, "# HELP ilt_coarse_corrections_total Two-level Schwarz coarse-grid corrections applied across finished jobs.\n")
+	fmt.Fprintf(w, "# TYPE ilt_coarse_corrections_total counter\n")
+	fmt.Fprintf(w, "ilt_coarse_corrections_total %d\n", r.nCoarseCorrections)
 
 	fmt.Fprintf(w, "# HELP ilt_stage_duration_seconds Wall time per flow stage.\n")
 	fmt.Fprintf(w, "# TYPE ilt_stage_duration_seconds histogram\n")

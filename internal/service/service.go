@@ -105,6 +105,12 @@ type JobSpec struct {
 	RefineIters *int     `json:"refine_iters,omitempty"`
 	LR          *float64 `json:"lr,omitempty"`
 	PVWeight    *float64 `json:"pv_weight,omitempty"`
+	// CoarseCorrect toggles the two-level Schwarz coarse-grid
+	// correction between fine stages; DropTol enables per-tile
+	// convergence dropout (per-pixel RMS tolerance, 0 = off). Both
+	// fall back to the server-wide Options defaults when nil.
+	CoarseCorrect *bool    `json:"coarse_correct,omitempty"`
+	DropTol       *float64 `json:"drop_tol,omitempty"`
 }
 
 // Progress is the latest core.Config.Progress event of a job, plus a
@@ -270,6 +276,14 @@ type Options struct {
 	// jobs (running ones resume from their last checkpoint). Terminal
 	// jobs reappear as history without their result payloads.
 	StateDir string
+
+	// CoarseCorrect, when true, turns on the two-level Schwarz
+	// coarse-grid correction for every mgs job that does not override
+	// it; DropTol likewise sets the default per-tile convergence
+	// dropout tolerance (0 disables dropout). Jobs may override either
+	// per submit via JobSpec.
+	CoarseCorrect bool
+	DropTol       float64
 
 	// ShardWorkers, when non-empty, distributes every job's tile
 	// fan-out across these remote iltworker base URLs instead of the
@@ -795,6 +809,7 @@ func (s *Server) runJob(j *job, cl *device.Cluster) {
 	case err == nil:
 		j.state = StateDone
 		j.result = res
+		s.metrics.twoLevel(res.TilesConverged, res.CoarseCorrections)
 	case errors.Is(err, context.Canceled):
 		j.state = StateCancelled
 		j.err = context.Canceled.Error()
@@ -889,6 +904,14 @@ func (s *Server) execute(ctx context.Context, spec JobSpec, cl *device.Cluster, 
 	}
 	if spec.PVWeight != nil {
 		cfg.PVWeight = *spec.PVWeight
+	}
+	cfg.CoarseCorrect = s.opts.CoarseCorrect
+	cfg.DropTol = s.opts.DropTol
+	if spec.CoarseCorrect != nil {
+		cfg.CoarseCorrect = *spec.CoarseCorrect
+	}
+	if spec.DropTol != nil {
+		cfg.DropTol = *spec.DropTol
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err

@@ -411,6 +411,57 @@ func TestMetricsAndHealth(t *testing.T) {
 	}
 }
 
+// TestTwoLevelJobMetrics drives the two-level Schwarz knobs through
+// the submit payload (coarse_correct + drop_tol overrides) and pins
+// their fleet counters: a finished job with corrections and converged
+// tiles must show up in ilt_coarse_corrections_total and
+// ilt_tiles_converged_total.
+func TestTwoLevelJobMetrics(t *testing.T) {
+	_, ts := newTestServer(t, testOpts())
+	correct := true
+	tol := 0.05
+	fineStages := 4
+	spec := JobSpec{
+		Flow: "mgs", N: 32, Iters: 16,
+		FineStages:    &fineStages,
+		CoarseCorrect: &correct,
+		DropTol:       &tol,
+	}
+	sr := postJob(t, ts, spec)
+	st := waitFor(t, ts, sr.Job.ID, 120*time.Second, func(st Status) bool { return st.State.Terminal() })
+	if st.State != StateDone {
+		t.Fatalf("job finished %s (%s)", st.State, st.Error)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, zero := range []string{
+		"ilt_tiles_converged_total 0\n",
+		"ilt_coarse_corrections_total 0\n",
+	} {
+		if strings.Contains(text, zero) {
+			t.Fatalf("two-level counter stuck at zero after a corrected dropout job:\n%s", text)
+		}
+	}
+	for _, want := range []string{
+		"ilt_tiles_converged_total",
+		"ilt_coarse_corrections_total",
+		`ilt_stage_duration_seconds_count{stage="coarse-correct"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
 // TestStageTimelineInStatus pins the engine-fed stage timeline a done
 // job exposes in its status JSON: the exact stage sequence of the mgs
 // flow at this iteration budget, closed by the "inspect" evaluation,
