@@ -12,6 +12,8 @@
 //	cache    — shared tile-cache cold vs warm on a repeated-cell clip
 //	scaling  — two-level vs one-level Schwarz iterations-to-quality on
 //	           2×2 → 8×8 tile grids, plus the convergence-dropout rate
+//	fidelity — progressive-fidelity kernel-truncation schedules: work
+//	           and TAT vs quality drift against the full-fidelity run
 //	all      — everything above
 //
 // Scale is selected with -scale (small | default | full); "full" is
@@ -45,7 +47,7 @@ import (
 func main() {
 	var (
 		scaleName  = flag.String("scale", "small", "experiment scale: small | default | full")
-		experiment = flag.String("experiment", "table1", "comma-separated list of table1 | fig6 | fig7 | fig8 | speedup | penalty | ablation | mrc | cache | scaling, or all")
+		experiment = flag.String("experiment", "table1", "comma-separated list of table1 | fig6 | fig7 | fig8 | speedup | penalty | ablation | mrc | cache | scaling | fidelity, or all")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		jsonPath   = flag.String("json", "", "also write machine-readable per-method metrics JSON to this file")
 		verbose    = flag.Bool("v", false, "print per-run progress")
@@ -219,6 +221,12 @@ func main() {
 				doc.TilesDroppedRate = &dr
 			}
 			emit(name, "Scaling: two-level vs one-level Schwarz by tile count", res.Render(), nil)
+		case "fidelity":
+			res, err := env.RunFidelity(progress)
+			if err != nil {
+				fatal(err)
+			}
+			emit(name, "Fidelity: kernel-truncation schedules vs full", res.Render(), nil)
 		default:
 			fmt.Fprintf(os.Stderr, "iltbench: unknown experiment %q\n", name)
 			os.Exit(2)
@@ -226,7 +234,7 @@ func main() {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"table1", "fig6", "fig7", "fig8", "speedup", "penalty", "ablation", "mrc", "cache", "scaling"} {
+		for _, name := range []string{"table1", "fig6", "fig7", "fig8", "speedup", "penalty", "ablation", "mrc", "cache", "scaling", "fidelity"} {
 			run(name)
 		}
 	} else {

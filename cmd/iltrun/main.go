@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"mgsilt/internal/cache"
@@ -73,6 +74,7 @@ func main() {
 		dropTol   = flag.Float64("drop-tol", 0, "per-tile convergence dropout tolerance (per-pixel RMS; 0 disables; method ours only)")
 		dropWin   = flag.Int("drop-window", 0, "consecutive stages drop-tol must hold before a tile retires (0 = default)")
 		fineStg   = flag.Int("fine-stages", 0, "fine Schwarz stage count (0 = default; method ours only)")
+		fidelity  = flag.String("fidelity", "", "comma-separated per-fine-stage kernel energy budgets, e.g. 0.9,1 (empty = full fidelity; one entry per fine stage, last must be 1)")
 		maskRaw   = flag.String("mask-raw", "", "write the final mask to this file in the versioned checkpoint format, for byte-level comparison (cmp) across runs")
 	)
 	flag.Parse()
@@ -163,6 +165,12 @@ func main() {
 	cfg.DropWindow = *dropWin
 	if *fineStg > 0 {
 		cfg.FineStages = *fineStg
+	}
+	if *fidelity != "" {
+		cfg.FidelitySchedule, err = parseSchedule(*fidelity)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	chaos := *faultRate > 0 || *faultHard > 0
 	if chaos {
@@ -322,6 +330,21 @@ func readCheckpointFile(path string) (*core.Checkpoint, error) {
 	}
 	defer f.Close()
 	return pipeline.ReadCheckpoint(f)
+}
+
+// parseSchedule parses a -fidelity flag value: comma-separated
+// per-fine-stage kernel energy budgets. Range and length validation is
+// core.Config.Validate's job; this only requires well-formed floats.
+func parseSchedule(s string) ([]float64, error) {
+	var sched []float64
+	for _, tok := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			return nil, fmt.Errorf("fidelity schedule %q: %w", s, err)
+		}
+		sched = append(sched, f)
+	}
+	return sched, nil
 }
 
 func fatal(err error) {

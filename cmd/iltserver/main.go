@@ -28,6 +28,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -55,12 +56,23 @@ func main() {
 		shardURLs = flag.String("shard-workers", "", "comma-separated iltworker base URLs; every job's tile solves shard across them (byte-identical to in-process)")
 		correct   = flag.Bool("coarse-correct", false, "default two-level Schwarz coarse correction for jobs that do not override coarse_correct")
 		dropTol   = flag.Float64("drop-tol", 0, "default per-tile convergence dropout tolerance for jobs that do not override drop_tol (0 disables)")
+		fidelity  = flag.String("fidelity", "", "default per-fine-stage kernel energy budgets for jobs that do not override fidelity_schedule, e.g. 0.9,1 (empty = full fidelity)")
 	)
 	flag.Parse()
 
 	var shardWorkers []string
 	if *shardURLs != "" {
 		shardWorkers = strings.Split(*shardURLs, ",")
+	}
+	var fidSched []float64
+	if *fidelity != "" {
+		for _, tok := range strings.Split(*fidelity, ",") {
+			f, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				fatal(fmt.Errorf("fidelity schedule %q: %w", *fidelity, err))
+			}
+			fidSched = append(fidSched, f)
+		}
 	}
 
 	srv, err := service.New(service.Options{
@@ -80,6 +92,7 @@ func main() {
 		ShardWorkers:     shardWorkers,
 		CoarseCorrect:    *correct,
 		DropTol:          *dropTol,
+		FidelitySchedule: fidSched,
 	})
 	if err != nil {
 		fatal(err)

@@ -31,6 +31,9 @@ func TestParseRejectsInvalidDocs(t *testing.T) {
 		`{"experiments":[{"experiment":"t","methods":[{"name":""}]}]}`,
 		`{"experiments":[{"experiment":"t","methods":[{"name":"m","metrics":{"L2":-1}}]}]}`,
 		`{"experiments":[{"experiment":"t","headers":["a","b"],"rows":[["x"]]}]}`,
+		`{"fidelity_schedule":[0.9,0]}`,
+		`{"fidelity_schedule":[1.5]}`,
+		`{"fidelity_schedule":[-0.1,1]}`,
 		`not json`,
 	}
 	for _, s := range bad {
@@ -51,6 +54,7 @@ func FuzzParseTrajectory(f *testing.F) {
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`{"scale":"small","n":64,"clip":128,"calib_ns":1,"experiments":[{"experiment":"table1","headers":["a"],"rows":[["1"]]}]}`))
 	f.Add([]byte(`{"experiments":[{"experiment":"t","methods":[{"name":"m","metrics":{"L2":1e308,"TATSec":0.5}}]}]}`))
+	f.Add([]byte(`{"fidelity_schedule":[0.9,0.95,1],"experiments":[]}`))
 	f.Add([]byte(`[1,2,3]`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d, err := Parse(data)

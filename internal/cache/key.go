@@ -31,8 +31,9 @@ import (
 // stale spill directories invalidate themselves.
 const codeVersion = "mgsilt-tile-solve-v1"
 
-// keyMagic versions the key serialisation itself.
-const keyMagic = "mgsilt-tile-key v1\n"
+// keyMagic versions the key serialisation itself. v2 added the
+// canonicalised kernel-fidelity budget after Plain.
+const keyMagic = "mgsilt-tile-key v2\n"
 
 // Key is the content address of one tile solve: a SHA-256 over the
 // canonical serialisation of every solve input.
@@ -70,6 +71,11 @@ type KeyInput struct {
 	LR       float64
 	PVWeight float64
 	Plain    bool
+	// Fidelity is the solve's kernel energy budget (opt.Params
+	// .Fidelity). 0 and 1 both evaluate the full kernel set, so they
+	// are canonicalised to the same hashed value — a full-fidelity
+	// solve keys identically however the caller spelled it.
+	Fidelity float64
 
 	Target *grid.Mat
 	Init   *grid.Mat
@@ -100,6 +106,9 @@ func (in KeyInput) Key() (Key, error) {
 	if !finite(in.LR) || !finite(in.PVWeight) {
 		return k, fmt.Errorf("cache: non-finite solve parameters (lr %v, pv %v)", in.LR, in.PVWeight)
 	}
+	if !finite(in.Fidelity) || in.Fidelity < 0 || in.Fidelity > 1 {
+		return k, fmt.Errorf("cache: fidelity %v out of [0,1]", in.Fidelity)
+	}
 
 	h := sha256.New()
 	w := keyWriter{h: h}
@@ -112,6 +121,11 @@ func (in KeyInput) Key() (Key, error) {
 	w.f64(in.LR)
 	w.f64(in.PVWeight)
 	w.bool(in.Plain)
+	fidelity := in.Fidelity
+	if fidelity == 0 {
+		fidelity = 1
+	}
+	w.f64(fidelity)
 	w.mat(in.Target)
 	w.mat(in.Init)
 	w.mat(in.Freeze)

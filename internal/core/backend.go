@@ -160,7 +160,8 @@ func (b *clusterBackend) SolveTiles(ctx context.Context, reqs []TileRequest) ([]
 				Optics: optics, Solver: solverFP,
 				Iters: tileParams.Iters, Stretch: tileParams.Stretch,
 				LR: tileParams.LR, PVWeight: tileParams.PVWeight, Plain: tileParams.Plain,
-				Target: req.Target, Init: req.Init, Freeze: tileParams.Freeze,
+				Fidelity: tileParams.Fidelity,
+				Target:   req.Target, Init: req.Init, Freeze: tileParams.Freeze,
 			}.Key()
 			if err == nil {
 				key, useCache = k, true

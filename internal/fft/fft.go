@@ -59,11 +59,16 @@ type plan struct {
 // w^j = exp(-2πi·j/size) for j in [0, size/2); a fused radix-4 pass
 // finds the twiddles of both constituent radix-2 stages inside that one
 // contiguous table (stage size/2 uses tw[2j], stage size uses tw[j] and
-// tw[j+size/4]).
+// tw[j+size/4]). twi is the element-wise conjugate of tw, precomputed so
+// the inverse transform reads its twiddles from a table instead of
+// negating inside the butterfly loop; conjugation only flips the sign
+// bit of the imaginary part, so the inverse arithmetic is bit-identical
+// to the former in-loop negation.
 type stage struct {
 	size   int
 	radix2 bool
 	tw     []complex128
+	twi    []complex128
 }
 
 var (
@@ -94,11 +99,13 @@ func planFor(n int) *plan {
 	done := 1
 	for done*4 <= n {
 		size := done * 4
-		p.stages = append(p.stages, stage{size: size, tw: twiddles(size)})
+		tw := twiddles(size)
+		p.stages = append(p.stages, stage{size: size, tw: tw, twi: conjugated(tw)})
 		done = size
 	}
 	if done < n {
-		p.stages = append(p.stages, stage{size: n, radix2: true, tw: twiddles(n)})
+		tw := twiddles(n)
+		p.stages = append(p.stages, stage{size: n, radix2: true, tw: tw, twi: conjugated(tw)})
 	}
 	plans[n] = p
 	return p
@@ -115,6 +122,16 @@ func twiddles(size int) []complex128 {
 	return tw
 }
 
+// conjugated returns the element-wise conjugate table for the inverse
+// passes.
+func conjugated(tw []complex128) []complex128 {
+	out := make([]complex128, len(tw))
+	for j, w := range tw {
+		out[j] = complex(real(w), -imag(w))
+	}
+	return out
+}
+
 // transform runs the in-place mixed-radix FFT over x. When inverse is
 // true the conjugate twiddles are used and the result is scaled by 1/n.
 func (p *plan) transform(x []complex128, inverse bool) {
@@ -129,13 +146,17 @@ func (p *plan) transform(x []complex128, inverse bool) {
 	}
 	for si := range p.stages {
 		st := &p.stages[si]
+		tw := st.tw
+		if inverse {
+			tw = st.twi
+		}
 		switch {
 		case st.radix2:
-			radix2Pass(x, st.tw, st.size, inverse)
+			radix2Pass(x, tw, st.size)
 		case st.size == 4:
-			base4Pass(x, st.tw, inverse)
+			base4Pass(x, tw)
 		default:
-			radix4Pass(x, st.tw, st.size, inverse)
+			radix4Pass(x, tw, st.size)
 		}
 	}
 	if inverse {
@@ -149,13 +170,10 @@ func (p *plan) transform(x []complex128, inverse bool) {
 // base4Pass is the first fused pass (radix-2 stages of sizes 2 and 4)
 // over bit-reversed data. Its stage-2 twiddle and the first stage-4
 // twiddle are exactly 1, so the only multiplication is by tw[1] (≈ -i,
-// taken from the table so the arithmetic matches the generic pass bit
-// for bit).
-func base4Pass(x []complex128, tw []complex128, inverse bool) {
+// taken from the direction-selected table so the arithmetic matches the
+// generic pass bit for bit).
+func base4Pass(x []complex128, tw []complex128) {
 	wr, wi := real(tw[1]), imag(tw[1])
-	if inverse {
-		wi = -wi
-	}
 	for base := 0; base+3 < len(x); base += 4 {
 		a0, a1, a2, a3 := x[base], x[base+1], x[base+2], x[base+3]
 		// Stage of size 2 (twiddle 1): butterflies (a0,a1), (a2,a3).
@@ -180,10 +198,12 @@ func base4Pass(x []complex128, tw []complex128, inverse bool) {
 // butterflies (i0,i2) and (i1,i3) with twiddles tw[j] and tw[j+size/4],
 // and stores the four results. Per element the operations and their
 // order are exactly those of the two separate radix-2 passes, so the
-// output is bit-identical — only the loads and stores are halved.
-func radix4Pass(x []complex128, tw []complex128, size int, inverse bool) {
+// output is bit-identical — only the loads and stores are halved. The
+// caller passes the direction-selected twiddle table (tw or twi).
+func radix4Pass(x []complex128, tw []complex128, size int) {
 	quarter := size >> 2
 	half := size >> 1
+	tw = tw[:half] // one bounds check here instead of three per butterfly
 	for base := 0; base+size <= len(x); base += size {
 		for j := 0; j < quarter; j++ {
 			i0 := base + j
@@ -194,9 +214,6 @@ func radix4Pass(x []complex128, tw []complex128, size int, inverse bool) {
 			war, wai := real(tw[2*j]), imag(tw[2*j])
 			wbr, wbi := real(tw[j]), imag(tw[j])
 			wcr, wci := real(tw[j+quarter]), imag(tw[j+quarter])
-			if inverse {
-				wai, wbi, wci = -wai, -wbi, -wci
-			}
 
 			x0, x1, x2, x3 := x[i0], x[i1], x[i2], x[i3]
 
@@ -227,15 +244,13 @@ func radix4Pass(x []complex128, tw []complex128, size int, inverse bool) {
 }
 
 // radix2Pass is the final unpaired stage for odd log2(n): one plain
-// radix-2 sweep of span size with its own contiguous twiddle table.
-func radix2Pass(x []complex128, tw []complex128, size int, inverse bool) {
+// radix-2 sweep of span size with its own contiguous twiddle table
+// (direction-selected by the caller).
+func radix2Pass(x []complex128, tw []complex128, size int) {
 	half := size >> 1
 	for base := 0; base+size <= len(x); base += size {
 		for j := 0; j < half; j++ {
 			wr, wi := real(tw[j]), imag(tw[j])
-			if inverse {
-				wi = -wi
-			}
 			k := base + j
 			y := x[k+half]
 			tr := wr*real(y) - wi*imag(y)

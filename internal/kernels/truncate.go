@@ -1,0 +1,101 @@
+package kernels
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Energy-ranked kernel truncation.
+//
+// The SOCS weights w_k are normalised to sum to 1, and the aerial image
+// is a weight-convex combination of per-kernel intensities. Dropping
+// the lowest-weight tail therefore perturbs the image by at most the
+// dropped weight times the per-kernel intensity bound: for a mask with
+// |M| ≤ 1 every coherent field satisfies |A_k|² ≤ 1 (clear-field
+// normalisation), so |I_trunc − I_full| ≤ Σ_dropped w_k pointwise. The
+// property suite (truncate_test.go) verifies that bound on random
+// masks. Truncation is a fidelity knob, not an approximation the final
+// metrics ever see: the progressive schedule (core.FidelitySchedule)
+// always pins the last fine stage to 1.0.
+
+// EnergyOrder returns kernel indices ranked by descending weight,
+// stable in the original index for ties — the canonical evaluation
+// order of a truncated set. Stability matters: uniform-weight sets
+// (the Abbe sampling used by the experiment suite) must truncate to a
+// deterministic prefix of the original order, or shard and cache
+// byte-identity would depend on sort internals.
+func EnergyOrder(weights []float64) []int {
+	order := make([]int, len(weights))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return weights[order[a]] > weights[order[b]]
+	})
+	return order
+}
+
+// retainEps absorbs the rounding of cumulative weight sums: a uniform
+// 12-kernel set asked for energy 0.75 must retain exactly 9 kernels
+// even when Σ(9 × 1/12) rounds to just below 0.75.
+const retainEps = 1e-9
+
+// RetainCount returns the length of the smallest EnergyOrder prefix
+// whose cumulative weight covers the energy fraction of the total
+// weight. energy ≤ 0 retains one kernel (an empty optical model is
+// never useful); energy ≥ 1 retains all.
+func RetainCount(weights []float64, order []int, energy float64) int {
+	if len(order) == 0 {
+		return 0
+	}
+	if energy >= 1 {
+		return len(order)
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	target := energy * total
+	cum := 0.0
+	for m, idx := range order {
+		cum += weights[idx]
+		if cum+retainEps*total >= target {
+			return m + 1
+		}
+	}
+	return len(order)
+}
+
+// Truncate returns the energy-ranked truncation of the set: the
+// smallest prefix of kernels, in descending-weight order, whose
+// cumulative weight covers the given fraction of the total. The
+// dropped-tail weight is recorded in the result's Dropped field so
+// callers (and the property tests) can bound the aerial-image error by
+// it. Truncate(1.0) — or any energy covering the full set — returns
+// the receiver itself, unchanged and unreordered.
+func (s *Set) Truncate(energy float64) *Set {
+	weights := make([]float64, len(s.Kernels))
+	for i, k := range s.Kernels {
+		weights[i] = k.Weight
+	}
+	order := EnergyOrder(weights)
+	m := RetainCount(weights, order, energy)
+	if m >= len(s.Kernels) {
+		return s
+	}
+	out := &Set{N: s.N, P: s.P, Defocus: s.Defocus}
+	out.Kernels = make([]Kernel, m)
+	for i := 0; i < m; i++ {
+		out.Kernels[i] = s.Kernels[order[i]]
+	}
+	for _, idx := range order[m:] {
+		out.Dropped += s.Kernels[idx].Weight
+	}
+	return out
+}
+
+// String describes the truncation state for logs and error messages.
+func (s *Set) String() string {
+	return fmt.Sprintf("kernels.Set{N:%d P:%d defocus:%g kernels:%d dropped:%.3g}",
+		s.N, s.P, s.Defocus, len(s.Kernels), s.Dropped)
+}

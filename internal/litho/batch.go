@@ -32,6 +32,10 @@ func (s *Simulator) Fingerprint() string {
 		f64(s.cfg.Threshold)
 		f64(s.cfg.SigmoidSteep)
 		f64(s.cfg.DoseDelta)
+		// The default kernel budget changes outputs when < 1, so it is
+		// part of the content identity (per-call budgets are hashed by
+		// the tile-cache key instead, see internal/cache.KeyInput).
+		f64(canonFidelity(s.cfg.Fidelity))
 		hashSet := func(set *kernels.Set) {
 			w64(uint64(set.N))
 			w64(uint64(set.P))
@@ -90,6 +94,7 @@ func (s *Simulator) LossGradBatch(masks, targets []*grid.Mat, opts LossOpts) ([]
 		panic("litho: LossOpts.Stretch must be >= 1")
 	}
 	ks := s.kernelStretch(size, stretch)
+	fidelity := s.effFidelity(opts.Fidelity)
 
 	T := len(masks)
 	losses := make([]float64, T)
@@ -102,10 +107,10 @@ func (s *Simulator) LossGradBatch(masks, targets []*grid.Mat, opts LossOpts) ([]
 	limit := s.workersFor(T)
 	parallel.Do(T, limit, func(i int) { fft.ForwardReal2D(fms[i], masks[i]) })
 
-	s.lossGradConditionBatch(fms, targets, s.Nominal(), ks, 1, losses, grads)
+	s.lossGradConditionBatch(fms, targets, s.Nominal(), ks, fidelity, 1, losses, grads)
 	if opts.PVWeight > 0 {
-		s.lossGradConditionBatch(fms, targets, s.Inner(), ks, opts.PVWeight, losses, grads)
-		s.lossGradConditionBatch(fms, targets, s.Outer(), ks, opts.PVWeight, losses, grads)
+		s.lossGradConditionBatch(fms, targets, s.Inner(), ks, fidelity, opts.PVWeight, losses, grads)
+		s.lossGradConditionBatch(fms, targets, s.Outer(), ks, fidelity, opts.PVWeight, losses, grads)
 	}
 	for _, fm := range fms {
 		grid.PutCMat(fm)
@@ -117,13 +122,14 @@ func (s *Simulator) LossGradBatch(masks, targets []*grid.Mat, opts LossOpts) ([]
 // field buffers of all pairs share each batched transform, and every
 // pair reduces its own k kernel partials in kernel order — the exact
 // floating-point sequence of the single-pair path.
-func (s *Simulator) lossGradConditionBatch(fms []*grid.CMat, targets []*grid.Mat, cond Condition, kernelStretch int, weight float64, losses []float64, grads []*grid.Mat) {
+func (s *Simulator) lossGradConditionBatch(fms []*grid.CMat, targets []*grid.Mat, cond Condition, kernelStretch int, fidelity, weight float64, losses []float64, grads []*grid.Mat) {
 	size := fms[0].H
-	p := s.preparedFor(cond.Focus, size, kernelStretch)
+	p := s.preparedFor(cond.Focus, size, kernelStretch, fidelity)
 	k := len(p.freq)
 	T := len(fms)
 	kt := k * T
 	limit := s.workersFor(kt)
+	kernelsEvaluated.Add(int64(kt))
 
 	// Forward pass: field i*k+j is pair i's kernel-j spectrum. One
 	// fan-out builds all k·T products; one batched transform inverts
@@ -131,8 +137,8 @@ func (s *Simulator) lossGradConditionBatch(fms []*grid.CMat, targets []*grid.Mat
 	// order into its own intensity.
 	fs := getFields(kt, size, size)
 	fields := fs.cm
-	parallel.Do(kt, limit, func(f int) { fields[f].ProdOf(fms[f/k], p.freq[f%k]) })
-	fft.Batch2DLimit(fields, fft.DirInverse, limit)
+	parallel.Do(kt, limit, func(f int) { prodLive(fields[f], fms[f/k], p.freq[f%k], p.rowLive) })
+	fft.Batch2DInversePruned(fields, p.rowLive, limit)
 
 	intensities := grid.GetMats(T, size, size)
 	gs := grid.GetMats(T, size, size) // per-pair ∂L/∂I, fully overwritten
@@ -164,12 +170,19 @@ func (s *Simulator) lossGradConditionBatch(fms []*grid.CMat, targets []*grid.Mat
 	// forward transform covers all k·T, then each pair accumulates its
 	// kernels in kernel order and inverts its own accumulator.
 	parallel.Do(kt, limit, func(f int) { mulRealConj(fields[f], gs[f/k]) })
-	fft.Batch2DLimit(fields, fft.DirForward, limit)
+	fft.Batch2DForwardBand(fields, p.adjLive, limit)
+	// Like the single-pair path, the adjoint products and the per-pair
+	// reductions only touch the adjoint row support, so the band-limited
+	// forward may leave every dead output row mid-transform; its live
+	// rows match the single-pair transform bit for bit.
 	parallel.Do(kt, limit, func(f int) {
 		a := fields[f]
 		adj := p.adjoint[f%k]
-		for j, qv := range a.Data {
-			a.Data[j] = adj.Data[j] * qv
+		for _, y := range p.adjRows {
+			ar, jr := a.Row(y), adj.Row(y)
+			for x, qv := range ar {
+				ar[x] = jr[x] * qv
+			}
 		}
 	})
 	accs := make([]*grid.CMat, T)
@@ -179,12 +192,16 @@ func (s *Simulator) lossGradConditionBatch(fms []*grid.CMat, targets []*grid.Mat
 	parallel.Do(T, tileWorkers, func(i int) {
 		acc := accs[i]
 		for j := 0; j < k; j++ {
-			for n, tv := range fields[i*k+j].Data {
-				acc.Data[n] += tv
+			t := fields[i*k+j]
+			for _, y := range p.adjRows {
+				tr, cr := t.Row(y), acc.Row(y)
+				for x, tv := range tr {
+					cr[x] += tv
+				}
 			}
 		}
 	})
-	fft.Batch2DLimit(accs, fft.DirInverse, tileWorkers)
+	fft.Batch2DInversePruned(accs, p.adjLive, tileWorkers)
 	parallel.Do(T, tileWorkers, func(i int) {
 		grad := grads[i]
 		for j := range grad.Data {

@@ -66,6 +66,13 @@ type Config struct {
 	// per-kernel partials are reduced in kernel order — so this is a
 	// pure performance knob.
 	Workers int
+	// Fidelity is the default kernel energy budget of every evaluation:
+	// each Hopkins sum runs only the energy-ranked kernel prefix
+	// covering this weight fraction (kernels.Set.Truncate semantics).
+	// 0 or 1 evaluates the full set — bit-identical to a simulator
+	// without the knob. Per-call budgets (LossOpts.Fidelity) override
+	// this default. Values outside [0, 1] are rejected by New.
+	Fidelity float64
 }
 
 // DefaultConfig returns the resist parameters used by the experiment
@@ -92,19 +99,34 @@ type Simulator struct {
 }
 
 type prepKey struct {
-	focus   Focus
-	size    int
-	stretch int
+	focus    Focus
+	size     int
+	stretch  int
+	fidelity float64 // canonical: 1 means the full set
 }
 
 // prepared holds corner-layout kernel spectra ready for FFT pipelines,
 // plus the frequency-flipped versions used by the adjoint pass,
 // pre-scaled by their 2·w_k gradient weight so the adjoint inner loop
 // performs one complex multiply per element instead of two.
+//
+// It also carries the pupil row-support masks that drive the pruned
+// inverse transforms: the kernel spectra are band-limited, so in corner
+// layout only the rows intersecting the (shifted) pupil disk are ever
+// non-zero. rowLive is the union support of the forward spectra,
+// adjLive of the flipped adjoint spectra; both are detected at the bit
+// level (a row is dead only when every entry is exactly +0), which is
+// what fft.Inverse2DPruned's exactness contract requires.
 type prepared struct {
 	weights []float64
 	freq    []*grid.CMat // H(f), corner layout
 	adjoint []*grid.CMat // 2·w_k·H(-f), corner layout
+	rowLive []bool       // union row support of freq
+	adjLive []bool       // union row support of adjoint
+	adjRows []int        // indices of the true entries of adjLive
+	// dropped is the kernel weight removed by fidelity truncation
+	// relative to the full set (0 for a full-fidelity prepared).
+	dropped float64
 }
 
 // New builds a Simulator from a nominal and a defocused kernel set,
@@ -124,6 +146,9 @@ func New(nominal, defocus *kernels.Set, cfg Config) (*Simulator, error) {
 	}
 	if cfg.DoseDelta < 0 || cfg.DoseDelta >= 1 {
 		return nil, fmt.Errorf("litho: dose delta %v out of [0,1)", cfg.DoseDelta)
+	}
+	if cfg.Fidelity < 0 || cfg.Fidelity > 1 {
+		return nil, fmt.Errorf("litho: fidelity %v out of [0,1]", cfg.Fidelity)
 	}
 	return &Simulator{
 		n:       nominal.N,
@@ -151,33 +176,119 @@ func (s *Simulator) Inner() Condition { return Condition{FocusDefocus, 1 - s.cfg
 // nominal focus with +DoseDelta dose.
 func (s *Simulator) Outer() Condition { return Condition{FocusNominal, 1 + s.cfg.DoseDelta} }
 
-func (s *Simulator) preparedFor(focus Focus, size, stretch int) *prepared {
-	key := prepKey{focus, size, stretch}
+// canonFidelity maps a kernel energy budget onto the canonical cache
+// key: anything outside (0,1) means "evaluate the full set".
+func canonFidelity(f float64) float64 {
+	if f <= 0 || f >= 1 {
+		return 1
+	}
+	return f
+}
+
+func (s *Simulator) preparedFor(focus Focus, size, stretch int, fidelity float64) *prepared {
+	fidelity = canonFidelity(fidelity)
+	key := prepKey{focus, size, stretch, fidelity}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if p, ok := s.cache[key]; ok {
 		return p
 	}
-	src := s.nominal
-	if focus == FocusDefocus {
-		src = s.defocus
+	fullKey := prepKey{focus, size, stretch, 1}
+	full, ok := s.cache[fullKey]
+	if !ok {
+		src := s.nominal
+		if focus == FocusDefocus {
+			src = s.defocus
+		}
+		rs := src.Resampled(size, stretch)
+		full = &prepared{}
+		for _, k := range rs.Kernels {
+			// Resampled kernels are freshly allocated, so the layout swap
+			// can run in place instead of copying.
+			corner := fft.SwapQuadrants(k.Freq)
+			full.weights = append(full.weights, k.Weight)
+			full.freq = append(full.freq, corner)
+			// Fold the 2·w_k adjoint weight into the flipped spectrum once
+			// at preparation time. The products are the same bits the inner
+			// loop would produce: complex multiplication is commutative at
+			// the floating-point level.
+			full.adjoint = append(full.adjoint, fft.FlipFreq(corner).Scale(complex(2*k.Weight, 0)))
+		}
+		full.computeSupport()
+		s.cache[fullKey] = full
 	}
-	rs := src.Resampled(size, stretch)
-	p := &prepared{}
-	for _, k := range rs.Kernels {
-		// Resampled kernels are freshly allocated, so the layout swap
-		// can run in place instead of copying.
-		corner := fft.SwapQuadrants(k.Freq)
-		p.weights = append(p.weights, k.Weight)
-		p.freq = append(p.freq, corner)
-		// Fold the 2·w_k adjoint weight into the flipped spectrum once
-		// at preparation time. The products are the same bits the inner
-		// loop would produce: complex multiplication is commutative at
-		// the floating-point level.
-		p.adjoint = append(p.adjoint, fft.FlipFreq(corner).Scale(complex(2*k.Weight, 0)))
+	if fidelity == 1 {
+		return full
 	}
+	p := full.truncate(fidelity)
 	s.cache[key] = p
 	return p
+}
+
+// computeSupport derives the row-support masks from the spectra.
+func (p *prepared) computeSupport() {
+	p.rowLive = unionRowSupport(p.freq)
+	p.adjLive = unionRowSupport(p.adjoint)
+	p.adjRows = p.adjRows[:0]
+	for y, live := range p.adjLive {
+		if live {
+			p.adjRows = append(p.adjRows, y)
+		}
+	}
+}
+
+// unionRowSupport marks every row holding a non-(+0) entry in any of
+// the matrices. The test is at the bit level: an entry whose real or
+// imaginary bits differ from +0 makes the row live, so dead rows are
+// guaranteed to be exactly +0 — the fft pruned-transform contract.
+func unionRowSupport(ms []*grid.CMat) []bool {
+	if len(ms) == 0 {
+		return nil
+	}
+	live := make([]bool, ms[0].H)
+	for _, m := range ms {
+		for y := 0; y < m.H; y++ {
+			if live[y] {
+				continue
+			}
+			for _, v := range m.Row(y) {
+				if math.Float64bits(real(v)) != 0 || math.Float64bits(imag(v)) != 0 {
+					live[y] = true
+					break
+				}
+			}
+		}
+	}
+	return live
+}
+
+// truncate builds the energy-ranked subset view of a full prepared set
+// covering the given weight fraction: the retained kernels' spectra are
+// shared (no copies), ordered by descending weight — the canonical
+// truncation order of kernels.Set.Truncate — and the row-support masks
+// are recomputed for the retained subset.
+func (p *prepared) truncate(fidelity float64) *prepared {
+	order := kernels.EnergyOrder(p.weights)
+	m := kernels.RetainCount(p.weights, order, fidelity)
+	if m >= len(p.weights) {
+		return p
+	}
+	sub := &prepared{
+		weights: make([]float64, m),
+		freq:    make([]*grid.CMat, m),
+		adjoint: make([]*grid.CMat, m),
+	}
+	for i := 0; i < m; i++ {
+		idx := order[i]
+		sub.weights[i] = p.weights[idx]
+		sub.freq[i] = p.freq[idx]
+		sub.adjoint[i] = p.adjoint[idx]
+	}
+	for _, idx := range order[m:] {
+		sub.dropped += p.weights[idx]
+	}
+	sub.computeSupport()
+	return sub
 }
 
 // checkMask validates the geometry of a full-resolution mask: square,
@@ -273,8 +384,9 @@ func injectAerial() {
 
 func (s *Simulator) aerial(mask *grid.Mat, pixelStretch int, focus Focus) *grid.Mat {
 	injectAerial()
-	p := s.preparedFor(focus, mask.H, s.kernelStretch(mask.H, pixelStretch))
+	p := s.preparedFor(focus, mask.H, s.kernelStretch(mask.H, pixelStretch), s.cfg.Fidelity)
 	limit := s.workersFor(len(p.freq))
+	kernelsEvaluated.Add(int64(len(p.freq)))
 	fm := grid.GetCMat(mask.H, mask.W)
 	fft.ForwardReal2D(fm, mask) // mask is real: half a complex transform
 	intensity := grid.GetMat(mask.H, mask.W).Zero()
@@ -283,14 +395,44 @@ func (s *Simulator) aerial(mask *grid.Mat, pixelStretch int, focus Focus) *grid.
 	} else {
 		buf := grid.GetCMat(mask.H, mask.W)
 		for i, h := range p.freq {
-			buf.ProdOf(fm, h)
-			fft.Inverse2D(buf)
+			prodLive(buf, fm, h, p.rowLive)
+			fft.Inverse2DPruned(buf, p.rowLive)
 			buf.AddAbsSqScaled(intensity, p.weights[i])
 		}
 		grid.PutCMat(buf)
 	}
 	grid.PutCMat(fm)
 	return intensity
+}
+
+// kernelsEvaluated counts every coherent kernel run through a Hopkins
+// sum since process start — the denominator of the progressive-fidelity
+// savings story, exported to the service /metrics endpoint as
+// ilt_kernels_evaluated_total.
+var kernelsEvaluated atomic.Int64
+
+// KernelsEvaluatedTotal returns the process-wide count of per-kernel
+// Hopkins evaluations (one unit = one kernel in one condition pass).
+func KernelsEvaluatedTotal() int64 { return kernelsEvaluated.Load() }
+
+// prodLive writes dst = a ⊙ b on the live rows and zero-fills the dead
+// rows. The products on live rows are the same complex multiplications
+// ProdOf performs; the dead rows of the product are known zero because
+// b's dead rows are zero, but dst is a pooled buffer carrying stale
+// bits, so they are explicitly reset to +0 — exactly the dead-row
+// contract fft.Inverse2DPruned requires.
+func prodLive(dst, a, b *grid.CMat, live []bool) {
+	for y := 0; y < dst.H; y++ {
+		dr := dst.Row(y)
+		if !live[y] {
+			clear(dr)
+			continue
+		}
+		ar, br := a.Row(y), b.Row(y)
+		for x, av := range ar {
+			dr[x] = av * br[x]
+		}
+	}
 }
 
 // aerialParallel fans the per-kernel convolutions of the Hopkins sum
@@ -309,8 +451,8 @@ func (s *Simulator) aerialParallel(p *prepared, fm *grid.CMat, intensity *grid.M
 	k := len(p.freq)
 	fs := getFields(k, fm.H, fm.W)
 	fields := fs.cm
-	parallel.Do(k, limit, func(i int) { fields[i].ProdOf(fm, p.freq[i]) })
-	fft.Batch2DLimit(fields, fft.DirInverse, limit)
+	parallel.Do(k, limit, func(i int) { prodLive(fields[i], fm, p.freq[i], p.rowLive) })
+	fft.Batch2DInversePruned(fields, p.rowLive, limit)
 	parts := grid.GetMats(k, intensity.H, intensity.W)
 	parallel.Do(k, limit, func(i int) {
 		fields[i].AddAbsSqScaled(parts[i].Zero(), p.weights[i])
@@ -405,6 +547,13 @@ type LossOpts struct {
 	// loss: L = L2(nominal) + PVWeight·(L2(inner) + L2(outer)), the
 	// standard robust-ILT objective.
 	PVWeight float64
+	// Fidelity is the per-call kernel energy budget: the evaluation
+	// runs only the energy-ranked kernel prefix covering this weight
+	// fraction. 0 defers to Config.Fidelity; 0 there too (or 1 here)
+	// evaluates the full set, bit-identical to a build without the
+	// knob. The progressive schedule (core.FidelitySchedule) drives
+	// this per stage.
+	Fidelity float64
 }
 
 // LossGrad evaluates the sigmoid-resist L2 loss against target and its
@@ -425,16 +574,25 @@ func (s *Simulator) LossGrad(mask, target *grid.Mat, opts LossOpts) (float64, *g
 		panic("litho: LossOpts.Stretch must be >= 1")
 	}
 	ks := s.kernelStretch(mask.H, stretch)
+	fidelity := s.effFidelity(opts.Fidelity)
 	grad := grid.GetMat(mask.H, mask.W).Zero()
 	fm := grid.GetCMat(mask.H, mask.W)
 	fft.ForwardReal2D(fm, mask) // mask is real: half a complex transform
-	loss := s.lossGradCondition(fm, target, s.Nominal(), ks, 1, grad)
+	loss := s.lossGradCondition(fm, target, s.Nominal(), ks, fidelity, 1, grad)
 	if opts.PVWeight > 0 {
-		loss += s.lossGradCondition(fm, target, s.Inner(), ks, opts.PVWeight, grad)
-		loss += s.lossGradCondition(fm, target, s.Outer(), ks, opts.PVWeight, grad)
+		loss += s.lossGradCondition(fm, target, s.Inner(), ks, fidelity, opts.PVWeight, grad)
+		loss += s.lossGradCondition(fm, target, s.Outer(), ks, fidelity, opts.PVWeight, grad)
 	}
 	grid.PutCMat(fm)
 	return loss, grad
+}
+
+// effFidelity resolves a per-call budget against the simulator default.
+func (s *Simulator) effFidelity(opt float64) float64 {
+	if opt == 0 {
+		return canonFidelity(s.cfg.Fidelity)
+	}
+	return canonFidelity(opt)
 }
 
 // lossGradCondition accumulates weight·∇L_cond into grad and returns
@@ -450,11 +608,12 @@ func (s *Simulator) LossGrad(mask, target *grid.Mat, opts LossOpts) (float64, *g
 // where H(-f) is the spectrum of the coordinate-reversed kernel (the
 // correlation/adjoint kernel). The per-kernel terms are accumulated in
 // the frequency domain so only one inverse transform is needed.
-func (s *Simulator) lossGradCondition(fm *grid.CMat, target *grid.Mat, cond Condition, kernelStretch int, weight float64, grad *grid.Mat) float64 {
+func (s *Simulator) lossGradCondition(fm *grid.CMat, target *grid.Mat, cond Condition, kernelStretch int, fidelity, weight float64, grad *grid.Mat) float64 {
 	size := fm.H
-	p := s.preparedFor(cond.Focus, size, kernelStretch)
+	p := s.preparedFor(cond.Focus, size, kernelStretch, fidelity)
 	k := len(p.freq)
 	limit := s.workersFor(k)
+	kernelsEvaluated.Add(int64(k))
 
 	// Forward pass: fields and intensity. Every intermediate — the k
 	// field buffers, their holding slice, and the accumulators — comes
@@ -472,8 +631,8 @@ func (s *Simulator) lossGradCondition(fm *grid.CMat, target *grid.Mat, cond Cond
 	fields := fs.cm
 	intensity := grid.GetMat(size, size).Zero()
 	if limit > 1 {
-		parallel.Do(k, limit, func(i int) { fields[i].ProdOf(fm, p.freq[i]) })
-		fft.Batch2DLimit(fields, fft.DirInverse, limit)
+		parallel.Do(k, limit, func(i int) { prodLive(fields[i], fm, p.freq[i], p.rowLive) })
+		fft.Batch2DInversePruned(fields, p.rowLive, limit)
 		parts := grid.GetMats(k, size, size)
 		parallel.Do(k, limit, func(i int) {
 			fields[i].AddAbsSqScaled(parts[i].Zero(), p.weights[i])
@@ -484,9 +643,9 @@ func (s *Simulator) lossGradCondition(fm *grid.CMat, target *grid.Mat, cond Cond
 		grid.PutMats(parts)
 	} else {
 		for i := range fields {
-			fields[i].ProdOf(fm, p.freq[i])
+			prodLive(fields[i], fm, p.freq[i], p.rowLive)
 		}
-		fft.Batch2DLimit(fields, fft.DirInverse, 1)
+		fft.Batch2DInversePruned(fields, p.rowLive, 1)
 		for i, a := range fields {
 			a.AddAbsSqScaled(intensity, p.weights[i])
 		}
@@ -512,36 +671,55 @@ func (s *Simulator) lossGradCondition(fm *grid.CMat, target *grid.Mat, cond Cond
 	// (2w_k·H_k(-f)) ⊙ F(q_k) — the flipped spectra carry the 2w_k
 	// factor from preparation — is reduced into acc sequentially in
 	// kernel order, bit-identical to the serial accumulation.
+	// The adjoint spectra are band-limited like the forward ones, so
+	// every product adj ⊙ F(q) is zero outside p.adjLive: only the live
+	// rows of F(q_k) are ever read, which lets the forward batch run the
+	// band-limited columns-first transform (fft.Batch2DForwardBand) and
+	// skip the row transforms of every dead output row. Dead rows of the
+	// field buffers are left mid-transform; that is safe because the
+	// product and reduction loops below only touch p.adjRows and prodLive
+	// rewrites (or clears) every row on the next use of the pooled
+	// buffers. The pruning itself is exact — live rows match the dense
+	// columns-first transform bit for bit at any worker count.
 	acc := grid.GetCMat(size, size).Zero()
 	if limit > 1 {
 		parallel.Do(k, limit, func(i int) { mulRealConj(fields[i], g) })
-		fft.Batch2DLimit(fields, fft.DirForward, limit)
+		fft.Batch2DForwardBand(fields, p.adjLive, limit)
 		parallel.Do(k, limit, func(i int) {
 			a := fields[i]
 			adj := p.adjoint[i]
-			for j, qv := range a.Data {
-				a.Data[j] = adj.Data[j] * qv
+			for _, y := range p.adjRows {
+				ar, jr := a.Row(y), adj.Row(y)
+				for x, qv := range ar {
+					ar[x] = jr[x] * qv
+				}
 			}
 		})
 		for _, t := range fields {
-			for j, tv := range t.Data {
-				acc.Data[j] += tv
+			for _, y := range p.adjRows {
+				tr, cr := t.Row(y), acc.Row(y)
+				for x, tv := range tr {
+					cr[x] += tv
+				}
 			}
 		}
 	} else {
 		for _, a := range fields {
 			mulRealConj(a, g)
 		}
-		fft.Batch2DLimit(fields, fft.DirForward, 1)
+		fft.Batch2DForwardBand(fields, p.adjLive, 1)
 		for i, a := range fields {
 			adj := p.adjoint[i]
-			for j, qv := range a.Data {
-				acc.Data[j] += adj.Data[j] * qv
+			for _, y := range p.adjRows {
+				ar, jr, cr := a.Row(y), adj.Row(y), acc.Row(y)
+				for x, qv := range ar {
+					cr[x] += jr[x] * qv
+				}
 			}
 		}
 	}
 	fs.release()
-	fft.Inverse2D(acc)
+	fft.Inverse2DPruned(acc, p.adjLive)
 	for j := range grad.Data {
 		grad.Data[j] += weight * real(acc.Data[j])
 	}

@@ -132,3 +132,34 @@ func BenchmarkLossGrad(b *testing.B) {
 func benchName(workers int) string {
 	return fmt.Sprintf("workers=%d", workers)
 }
+
+// BenchmarkAerialTruncated measures the energy-ranked kernel
+// truncation win on the forward model: the same Aerial call under
+// simulator-default budgets of 1.0 (full set), 0.9 and 0.75. Paired
+// with BenchmarkInversePruned in internal/fft this is the per-layer
+// view of the progressive-fidelity hot path.
+func BenchmarkAerialTruncated(b *testing.B) {
+	mask := randomMask(testN, 3)
+	for _, fidelity := range []float64{1, 0.9, 0.75} {
+		b.Run(fmt.Sprintf("fidelity=%g", fidelity), func(b *testing.B) {
+			prev := parallel.SetWorkers(1)
+			defer parallel.SetWorkers(prev)
+			kc := kernels.DefaultConfig(testN)
+			nom := kernels.MustGenerate(kc)
+			def, err := kernels.Defocused(kc, 0.8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			cfg.Fidelity = fidelity
+			sim, err := New(nom, def, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				grid.PutMat(sim.Aerial(mask, sim.Nominal()))
+			}
+		})
+	}
+}

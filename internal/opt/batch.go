@@ -50,8 +50,8 @@ type BatchSolver interface {
 	// SolveBatch solves tiles i = 0..T-1 from (targets[i], inits[i],
 	// ps[i]) and returns per-tile results and errors (outs[i] is nil
 	// exactly when errs[i] is non-nil). The lockstep fields of ps —
-	// Iters, LR, Stretch, PVWeight, Plain — must agree across the
-	// batch; Ctx and Freeze may differ per tile, and a tile whose
+	// Iters, LR, Stretch, PVWeight, Plain, Fidelity — must agree across
+	// the batch; Ctx and Freeze may differ per tile, and a tile whose
 	// context cancels drops out of the batch without disturbing the
 	// others.
 	SolveBatch(targets, inits []*grid.Mat, ps []Params) ([]*grid.Mat, []error)
@@ -61,7 +61,7 @@ type BatchSolver interface {
 // batch.
 func lockstepCompatible(a, b Params) bool {
 	return a.Iters == b.Iters && a.LR == b.LR && a.Stretch == b.Stretch &&
-		a.PVWeight == b.PVWeight && a.Plain == b.Plain
+		a.PVWeight == b.PVWeight && a.Plain == b.Plain && a.Fidelity == b.Fidelity
 }
 
 // SolveBatch implements BatchSolver: the Solve loop run in lockstep
@@ -163,7 +163,7 @@ func (s *Pixel) SolveBatch(targets, inits []*grid.Mat, ps []Params) ([]*grid.Mat
 			masks = append(masks, st.mask)
 			tgts = append(tgts, st.target)
 		}
-		_, gms := s.Sim.LossGradBatch(masks, tgts, litho.LossOpts{Stretch: p0.Stretch, PVWeight: p0.PVWeight})
+		_, gms := s.Sim.LossGradBatch(masks, tgts, litho.LossOpts{Stretch: p0.Stretch, PVWeight: p0.PVWeight, Fidelity: p0.Fidelity})
 		for bi, st := range active {
 			gm := gms[bi]
 			if s.SmoothWeight > 0 {

@@ -1,0 +1,29 @@
+package parallel
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// Label keys attached to goroutines executing pipeline work. CPU
+// profiles (the CI-uploaded pprof artefacts) group samples by these,
+// attributing FFT and solver time to the pipeline stage that spent it
+// instead of to anonymous worker goroutines.
+const (
+	// LabelStage is the pipeline stage name ("coarse", "fine",
+	// "coarse-correct", "refine", "solve", "heal", "inspect").
+	LabelStage = "ilt_stage"
+	// LabelSite is the call site owning the work — the flow name for
+	// engine stages ("multigrid-schwarz", ...).
+	LabelSite = "ilt_site"
+)
+
+// WithLabels runs fn with pprof goroutine labels (LabelStage=stage,
+// LabelSite=site) installed on the calling goroutine. Because Do and
+// DoChunks spawn their helper goroutines from the calling goroutine,
+// the labels inherit into every pool task fn fans out — one WithLabels
+// at the stage boundary covers the stage's whole parallel tree. Labels
+// nest: an inner WithLabels shadows the outer one for fn's duration.
+func WithLabels(ctx context.Context, stage, site string, fn func(context.Context)) {
+	pprof.Do(ctx, pprof.Labels(LabelStage, stage, LabelSite, site), fn)
+}

@@ -53,6 +53,55 @@ func TestCheckpointHeaderIsInspectable(t *testing.T) {
 	}
 }
 
+// TestCheckpointFidelityRoundTrip covers the optional fidelity header
+// line: a checkpoint from a scheduled run must carry the schedule bit-
+// exactly, and a schedule-free checkpoint must not grow the line at
+// all — its encoding stays byte-identical to the pre-schedule format,
+// which is what keeps old checkpoint files readable and the CI
+// shard-equivalence byte comparisons stable at full fidelity.
+func TestCheckpointFidelityRoundTrip(t *testing.T) {
+	ck := sampleCheckpoint()
+	ck.Fidelity = []float64{0.75, 0.9 + 1e-16, 1}
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, ck); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Fidelity) != len(ck.Fidelity) {
+		t.Fatalf("fidelity round trip: got %v, want %v", got.Fidelity, ck.Fidelity)
+	}
+	for i := range ck.Fidelity {
+		if math.Float64bits(got.Fidelity[i]) != math.Float64bits(ck.Fidelity[i]) {
+			t.Fatalf("fidelity[%d] not bit-identical: got %v, want %v", i, got.Fidelity[i], ck.Fidelity[i])
+		}
+	}
+
+	var plain bytes.Buffer
+	if err := WriteCheckpoint(&plain, sampleCheckpoint()); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "fidelity") {
+		t.Fatal("schedule-free checkpoint must not emit a fidelity line")
+	}
+}
+
+func TestReadCheckpointRejectsBadFidelity(t *testing.T) {
+	bad := map[string]string{
+		"short token": "fidelity 3ff0",
+		"not hex":     "fidelity zzzzzzzzzzzzzzzz",
+		"empty":       "fidelity ",
+	}
+	for name, line := range bad {
+		data := checkpointMagic + "\nflow x\nstage 1 1\n" + line + "\nmask 1 1\n" + strings.Repeat("\x00", 8)
+		if _, err := ReadCheckpoint(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: corrupt fidelity line accepted", name)
+		}
+	}
+}
+
 func TestWriteCheckpointRejectsUnserialisable(t *testing.T) {
 	var buf bytes.Buffer
 	bad := []*Checkpoint{

@@ -30,6 +30,7 @@ import (
 
 	"mgsilt/internal/fault"
 	"mgsilt/internal/grid"
+	"mgsilt/internal/parallel"
 )
 
 // Stage is one resumable unit of a flow: a named transformation of the
@@ -69,6 +70,13 @@ type Pipeline struct {
 	// Stages is the ordered schedule. Stage k (1-based) corresponds to
 	// checkpoint stage k.
 	Stages []Stage
+	// Fidelity is the flow's progressive-fidelity schedule (per fine
+	// stage kernel energy budget; nil = full fidelity throughout). The
+	// engine records it in every emitted Checkpoint and validates it on
+	// resume: a checkpoint taken under one schedule must not seed a run
+	// with another, because the skipped stages' masks depend on the
+	// budgets they ran with.
+	Fidelity []float64
 
 	// Ctx carries the flow's deadline/cancellation; it is checked
 	// between stages and passed to every Stage.Run. nil means
@@ -106,6 +114,9 @@ func (p *Pipeline) Run(init *grid.Mat) (*grid.Mat, []StageTiming, error) {
 		if err := p.Resume.ValidFor(p.Flow, p.Clip, total); err != nil {
 			return nil, nil, err
 		}
+		if !SameSchedule(p.Resume.Fidelity, p.Fidelity) {
+			return nil, nil, fmt.Errorf("pipeline: checkpoint fidelity schedule %v cannot resume schedule %v", p.Resume.Fidelity, p.Fidelity)
+		}
 		resumeFrom = p.Resume.Stage
 		m = p.Resume.Mask.Clone()
 	}
@@ -125,7 +136,7 @@ func (p *Pipeline) Run(init *grid.Mat) (*grid.Mat, []StageTiming, error) {
 			p.Progress(st.Name, st.Iter, st.Total)
 		}
 		start := time.Now()
-		next, err := runStage(ctx, st, m)
+		next, err := runStage(ctx, p.Flow, st, m)
 		if err != nil {
 			return nil, timeline, err
 		}
@@ -142,7 +153,7 @@ func (p *Pipeline) Run(init *grid.Mat) (*grid.Mat, []StageTiming, error) {
 			// The clone is deliberately inside the guard: snapshotting a
 			// full layout is O(clip²) and must cost nothing when nobody
 			// listens.
-			p.Checkpoint(Checkpoint{Flow: p.Flow, Stage: i + 1, Total: total, Mask: m.Clone()})
+			p.Checkpoint(Checkpoint{Flow: p.Flow, Stage: i + 1, Total: total, Fidelity: p.Fidelity, Mask: m.Clone()})
 		}
 	}
 	return m, timeline, nil
@@ -152,9 +163,17 @@ func (p *Pipeline) Run(init *grid.Mat) (*grid.Mat, []StageTiming, error) {
 // fault.Panic unwinding out of the stage body (metric evaluation,
 // assembly inspection — anything outside a device job's own recovery
 // boundary) becomes an ordinary stage error. Genuine panics propagate.
-func runStage(ctx context.Context, st Stage, m *grid.Mat) (out *grid.Mat, err error) {
+//
+// The stage body runs under pprof goroutine labels (stage name, flow
+// site) so CPU profiles attribute samples to pipeline stages; the
+// labels inherit into every parallel-pool helper the stage fans out
+// (parallel.WithLabels).
+func runStage(ctx context.Context, flow string, st Stage, m *grid.Mat) (out *grid.Mat, err error) {
 	defer CatchFault(&err)
-	return st.Run(ctx, m)
+	parallel.WithLabels(ctx, st.Name, flow, func(ctx context.Context) {
+		out, err = st.Run(ctx, m)
+	})
+	return out, err
 }
 
 // CatchFault is the deferred guard converting an injected fault.Panic

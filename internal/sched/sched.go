@@ -55,6 +55,7 @@ type class struct {
 	iters, stretch int
 	lr, pv         float64
 	plain          bool
+	fidelity       float64
 }
 
 // request is one tile solve waiting for its batch.
@@ -120,6 +121,7 @@ func (b *Batcher) Solve(classKey string, solver opt.BatchSolver, target, init *g
 	cls := class{
 		key: classKey, h: init.H, w: init.W,
 		iters: p.Iters, stretch: p.Stretch, lr: p.LR, pv: p.PVWeight, plain: p.Plain,
+		fidelity: p.Fidelity,
 	}
 	req := &request{target: target, init: init, p: p, done: make(chan struct{})}
 

@@ -43,12 +43,17 @@ type registry struct {
 
 	nTilesConverged    uint64
 	nCoarseCorrections uint64
+
+	// fidelity is the kernel budget of the most recently started fine
+	// stage across all running jobs (1 = full fidelity).
+	fidelity float64
 }
 
 func newRegistry() *registry {
 	return &registry{
 		nFinished: make(map[State]uint64),
 		stages:    make(map[string]*histogram),
+		fidelity:  1,
 	}
 }
 
@@ -80,6 +85,12 @@ func (r *registry) twoLevel(tilesConverged, coarseCorrections int) {
 	r.mu.Lock()
 	r.nTilesConverged += uint64(tilesConverged)
 	r.nCoarseCorrections += uint64(coarseCorrections)
+	r.mu.Unlock()
+}
+
+func (r *registry) fidelityStage(budget float64) {
+	r.mu.Lock()
+	r.fidelity = budget
 	r.mu.Unlock()
 }
 
@@ -125,6 +136,10 @@ func (r *registry) write(w io.Writer, snap snapshot) {
 	fmt.Fprintf(w, "# TYPE ilt_coarse_corrections_total counter\n")
 	fmt.Fprintf(w, "ilt_coarse_corrections_total %d\n", r.nCoarseCorrections)
 
+	fmt.Fprintf(w, "# HELP ilt_fidelity_stage Kernel energy budget of the most recently started fine stage (1 = full fidelity).\n")
+	fmt.Fprintf(w, "# TYPE ilt_fidelity_stage gauge\n")
+	fmt.Fprintf(w, "ilt_fidelity_stage %g\n", r.fidelity)
+
 	fmt.Fprintf(w, "# HELP ilt_stage_duration_seconds Wall time per flow stage.\n")
 	fmt.Fprintf(w, "# TYPE ilt_stage_duration_seconds histogram\n")
 	names := make([]string, 0, len(r.stages))
@@ -161,6 +176,10 @@ func (r *registry) write(w io.Writer, snap snapshot) {
 	fmt.Fprintf(w, "# HELP ilt_uptime_seconds Time since the server started.\n")
 	fmt.Fprintf(w, "# TYPE ilt_uptime_seconds gauge\n")
 	fmt.Fprintf(w, "ilt_uptime_seconds %g\n", snap.uptime.Seconds())
+
+	fmt.Fprintf(w, "# HELP ilt_kernels_evaluated_total Hopkins kernels evaluated by the litho engine (truncated evaluations count only the retained prefix; process-wide).\n")
+	fmt.Fprintf(w, "# TYPE ilt_kernels_evaluated_total counter\n")
+	fmt.Fprintf(w, "ilt_kernels_evaluated_total %d\n", snap.kernelsEvaluated)
 
 	fmt.Fprintf(w, "# HELP ilt_device_jobs_total Tile jobs executed on the simulated clusters.\n")
 	fmt.Fprintf(w, "# TYPE ilt_device_jobs_total counter\n")

@@ -462,6 +462,70 @@ func TestTwoLevelJobMetrics(t *testing.T) {
 	}
 }
 
+// TestFidelityJobMetrics drives the progressive-fidelity schedule
+// through the submit payload: a scheduled job must finish, the
+// ilt_fidelity_stage gauge must reflect a truncated budget having run,
+// and the process-wide kernel-evaluation counter must be live.
+func TestFidelityJobMetrics(t *testing.T) {
+	_, ts := newTestServer(t, testOpts())
+	sched := []float64{0.75, 1}
+	fineStages := 2
+	spec := JobSpec{
+		Flow: "mgs", N: 32, Iters: 8,
+		FineStages:       &fineStages,
+		FidelitySchedule: &sched,
+	}
+	sr := postJob(t, ts, spec)
+	st := waitFor(t, ts, sr.Job.ID, 120*time.Second, func(st Status) bool { return st.State.Terminal() })
+	if st.State != StateDone {
+		t.Fatalf("job finished %s (%s)", st.State, st.Error)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"ilt_fidelity_stage",
+		"ilt_kernels_evaluated_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "ilt_kernels_evaluated_total 0\n") {
+		t.Fatalf("kernel-evaluation counter stuck at zero after a finished job:\n%s", text)
+	}
+}
+
+// TestFidelityScheduleRejected pins schedule validation at the submit
+// boundary: a schedule whose length does not match the fine stage
+// count must fail the job rather than run mis-scheduled.
+func TestFidelityScheduleRejected(t *testing.T) {
+	_, ts := newTestServer(t, testOpts())
+	sched := []float64{0.9, 0.95, 1}
+	fineStages := 2
+	spec := JobSpec{
+		Flow: "mgs", N: 32, Iters: 8,
+		FineStages:       &fineStages,
+		FidelitySchedule: &sched,
+	}
+	sr := postJob(t, ts, spec)
+	st := waitFor(t, ts, sr.Job.ID, 60*time.Second, func(st Status) bool { return st.State.Terminal() })
+	if st.State != StateFailed {
+		t.Fatalf("mis-sized schedule finished %s, want failed", st.State)
+	}
+	if !strings.Contains(st.Error, "fidelity") {
+		t.Fatalf("failure does not mention the schedule: %q", st.Error)
+	}
+}
+
 // TestStageTimelineInStatus pins the engine-fed stage timeline a done
 // job exposes in its status JSON: the exact stage sequence of the mgs
 // flow at this iteration budget, closed by the "inspect" evaluation,

@@ -70,6 +70,11 @@ type TileWire struct {
 	Plain    bool
 	LR       float64
 	PVWeight float64
+	// Fidelity is the solve's kernel energy budget (opt.Params
+	// .Fidelity; 0 = full set). On the wire it is an optional sixth
+	// params field, omitted when zero, so full-fidelity requests stay
+	// byte-identical to the original format.
+	Fidelity float64
 	// Target is the tile-local target; nil with TargetCached set means
 	// the worker already holds it for this session.
 	Target       *grid.Mat
@@ -258,8 +263,12 @@ func WriteSolveRequest(w io.Writer, req *SolveRequest) error {
 		wireMagic, req.Session, req.N, solver, len(req.Tiles))
 	for i := range req.Tiles {
 		t := &req.Tiles[i]
-		fmt.Fprintf(bw, "tile %d %d\nparams %d %d %d %s %s\n",
+		fmt.Fprintf(bw, "tile %d %d\nparams %d %d %d %s %s",
 			t.Index, t.Pixels, t.Iters, t.Stretch, boolInt(t.Plain), fbits(t.LR), fbits(t.PVWeight))
+		if t.Fidelity != 0 {
+			fmt.Fprintf(bw, " %s", fbits(t.Fidelity))
+		}
+		fmt.Fprintf(bw, "\n")
 		switch {
 		case t.Target != nil:
 			if err := writeMatSection(bw, "target", t.Target); err != nil {
@@ -496,7 +505,7 @@ func (r *wireReader) readTile() (*TileWire, error) {
 	if f, err = r.fields("params"); err != nil {
 		return nil, err
 	}
-	if len(f) != 5 {
+	if len(f) != 5 && len(f) != 6 {
 		return nil, fmt.Errorf("shard: bad params line")
 	}
 	if t.Iters, err = parseInt(f[0], 0, maxWireIters); err != nil {
@@ -515,6 +524,11 @@ func (r *wireReader) readTile() (*TileWire, error) {
 	}
 	if t.PVWeight, err = parseFbits(f[4]); err != nil {
 		return nil, err
+	}
+	if len(f) == 6 {
+		if t.Fidelity, err = parseFbits(f[5]); err != nil {
+			return nil, err
+		}
 	}
 
 	// target: full h w | cached

@@ -43,7 +43,7 @@ func testRequest(rn *rand.Rand) *SolveRequest {
 		Solver:  "pixel",
 		Tiles: []TileWire{
 			{
-				Index: 0, Pixels: 64, Iters: 5, Stretch: 1, LR: 0.4, PVWeight: 0.1,
+				Index: 0, Pixels: 64, Iters: 5, Stretch: 1, LR: 0.4, PVWeight: 0.1, Fidelity: 0.9,
 				Target: randMat(rn, 8, 8), Freeze: randMat(rn, 8, 8), Init: randMat(rn, 8, 8),
 			},
 			{
@@ -83,7 +83,8 @@ func TestSolveRequestRoundTrip(t *testing.T) {
 			t.Fatalf("tile %d header mismatch: %+v vs %+v", i, a, b)
 		}
 		if math.Float64bits(a.LR) != math.Float64bits(b.LR) ||
-			math.Float64bits(a.PVWeight) != math.Float64bits(b.PVWeight) {
+			math.Float64bits(a.PVWeight) != math.Float64bits(b.PVWeight) ||
+			math.Float64bits(a.Fidelity) != math.Float64bits(b.Fidelity) {
 			t.Fatalf("tile %d param bits drifted", i)
 		}
 		if (a.Target == nil) != (b.Target == nil) || a.TargetCached != b.TargetCached {

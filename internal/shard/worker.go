@@ -241,6 +241,7 @@ func (w *Worker) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, 
 		wk.params = opt.Params{
 			Iters: t.Iters, LR: t.LR, Stretch: t.Stretch,
 			PVWeight: t.PVWeight, Plain: t.Plain, Freeze: freeze,
+			Fidelity: t.Fidelity,
 		}
 		works = append(works, wk)
 	}
