@@ -14,6 +14,8 @@
 //	           2×2 → 8×8 tile grids, plus the convergence-dropout rate
 //	fidelity — progressive-fidelity kernel-truncation schedules: work
 //	           and TAT vs quality drift against the full-fidelity run
+//	solvers  — every registered opt backend under the "Ours" flow on
+//	           the first clip, with the ADMM-vs-Pixel L2 gate
 //	all      — everything above
 //
 // Scale is selected with -scale (small | default | full); "full" is
@@ -40,6 +42,7 @@ import (
 
 	"mgsilt/internal/bench"
 	"mgsilt/internal/benchfmt"
+	"mgsilt/internal/opt"
 	"mgsilt/internal/parallel"
 	"mgsilt/internal/report"
 )
@@ -47,7 +50,8 @@ import (
 func main() {
 	var (
 		scaleName  = flag.String("scale", "small", "experiment scale: small | default | full")
-		experiment = flag.String("experiment", "table1", "comma-separated list of table1 | fig6 | fig7 | fig8 | speedup | penalty | ablation | mrc | cache | scaling | fidelity, or all")
+		experiment = flag.String("experiment", "table1", "comma-separated list of table1 | fig6 | fig7 | fig8 | speedup | penalty | ablation | mrc | cache | scaling | fidelity | solvers, or all")
+		solverSel  = flag.String("solver", "", "solver backend for the \"Ours\" flow rows: "+strings.Join(opt.Names(), " | ")+" (empty = pixel; recorded in -json provenance)")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		jsonPath   = flag.String("json", "", "also write machine-readable per-method metrics JSON to this file")
 		verbose    = flag.Bool("v", false, "print per-run progress")
@@ -83,6 +87,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *solverSel != "" {
+		if !opt.Known(*solverSel) {
+			fatal(fmt.Errorf("%w %q (registered: %v)", opt.ErrUnknownSolver, *solverSel, opt.Names()))
+		}
+		env.Solver = *solverSel
+	}
 
 	doc := benchfmt.Doc{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -100,6 +110,12 @@ func main() {
 	// documents comparable with (and only with) future unsharded runs.
 	shardCount := 1
 	doc.ShardCount = &shardCount
+	// Solver provenance is tri-state: untouched runs leave it nil
+	// (≡ "pixel"), keeping documents comparable with pre-registry
+	// baselines; an explicit -solver pins the document to that backend.
+	if *solverSel != "" {
+		doc.Solver = solverSel
+	}
 	if *jsonPath != "" {
 		// Calibrate before running experiments so the measurement is
 		// taken on an otherwise-quiet process, and record the hot-path
@@ -227,6 +243,12 @@ func main() {
 				fatal(err)
 			}
 			emit(name, "Fidelity: kernel-truncation schedules vs full", res.Render(), nil)
+		case "solvers":
+			res, err := env.RunSolvers(progress)
+			if err != nil {
+				fatal(err)
+			}
+			emit(name, "Solvers: registered backends under the ours flow", res.Render(), nil)
 		default:
 			fmt.Fprintf(os.Stderr, "iltbench: unknown experiment %q\n", name)
 			os.Exit(2)
@@ -234,7 +256,7 @@ func main() {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"table1", "fig6", "fig7", "fig8", "speedup", "penalty", "ablation", "mrc", "cache", "scaling", "fidelity"} {
+		for _, name := range []string{"table1", "fig6", "fig7", "fig8", "speedup", "penalty", "ablation", "mrc", "cache", "scaling", "fidelity", "solvers"} {
 			run(name)
 		}
 	} else {

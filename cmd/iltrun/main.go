@@ -30,6 +30,7 @@ import (
 	"mgsilt/internal/layout"
 	"mgsilt/internal/litho"
 	"mgsilt/internal/metrics"
+	"mgsilt/internal/mrc"
 	"mgsilt/internal/opt"
 	"mgsilt/internal/parallel"
 	"mgsilt/internal/pipeline"
@@ -37,21 +38,27 @@ import (
 	"mgsilt/internal/shard"
 )
 
-// shardSolver maps the -method solver choice to the shard wire solver
-// name the workers must construct.
-func shardSolver(method string) string {
-	switch method {
-	case "dc-multilevel", "heal":
-		return "multilevel"
-	case "dc-gls":
-		return "levelset"
-	}
-	return "pixel"
+// methodFlows orders the flow names for help text; methodDefaults
+// pairs each flow with its historical solver backend, overridable with
+// -solver. Both solver vocabularies — the override and the defaults —
+// are opt registry names, so worker processes resolve the identical
+// instance.
+var methodFlows = []string{"ours", "dc-multilevel", "dc-gls", "fullchip", "heal"}
+
+var methodDefaults = map[string]string{
+	"ours":          opt.DefaultSolver,
+	"dc-multilevel": "multilevel",
+	"dc-gls":        "levelset",
+	"fullchip":      "multilevel",
+	"heal":          "multilevel",
 }
 
 func main() {
 	var (
-		method    = flag.String("method", "ours", "ours | dc-multilevel | dc-gls | fullchip | heal")
+		method    = flag.String("method", "ours", "flow: "+strings.Join(methodFlows, " | "))
+		solverSel = flag.String("solver", "", "solver backend: "+strings.Join(opt.Names(), " | ")+" (empty = the method's default)")
+		listSolve = flag.Bool("list-solvers", false, "print the registered solver names, one per line, and exit")
+		mrcCheck  = flag.Bool("mrc", false, "check the final binarised mask against mrc.DefaultRules and print the verdict")
 		n         = flag.Int("n", 128, "native simulator grid size (power of two)")
 		seed      = flag.Int64("seed", 1, "clip generator seed")
 		rects     = flag.String("rects", "", "optional .rects geometry file to optimise instead of a generated clip")
@@ -78,6 +85,12 @@ func main() {
 		maskRaw   = flag.String("mask-raw", "", "write the final mask to this file in the versioned checkpoint format, for byte-level comparison (cmp) across runs")
 	)
 	flag.Parse()
+	if *listSolve {
+		for _, name := range opt.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
 	if *workers > 0 {
 		parallel.SetWorkers(*workers)
 	}
@@ -143,16 +156,40 @@ func main() {
 	if *batchSize >= 2 {
 		cfg.Batch = sched.New(sched.Options{BatchSize: *batchSize})
 	}
+	// Solver selection: the -solver registry name wins, else the
+	// method's historical default. Resolving through opt.New here and
+	// shipping the same name to shard workers keeps distributed runs
+	// byte-identical to in-process ones.
+	solverName, ok := methodDefaults[*method]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "iltrun: unknown method %q (flows: %s)\n", *method, strings.Join(methodFlows, " | "))
+		os.Exit(2)
+	}
+	if *solverSel != "" {
+		solverName = *solverSel
+	}
+	solver, err := opt.New(solverName, sim)
+	if err != nil {
+		fatal(err) // the registry error lists the registered names
+	}
+	if *method == "fullchip" && *solverSel == "" {
+		// The full-chip reference historically runs a deeper pyramid
+		// than the stock multilevel default.
+		solver.(*opt.MultiLevel).Levels = 3
+	}
+	cfg.Solver = solver
+	cfg.SolverName = solverName
+
 	// Remote tile sharding: the flow's tile fan-out goes through a
 	// shard coordinator instead of the local cluster. The worker-side
-	// solver name must match this process's -method solver choice, or
-	// the distributed result would diverge from the in-process one.
+	// solver name must match this process's choice, or the distributed
+	// result would diverge from the in-process one.
 	var coord *shard.Coordinator
 	if *shardURLs != "" {
 		coord, err = shard.NewCoordinator(shard.Config{
 			Workers: strings.Split(*shardURLs, ","),
 			N:       *n,
-			Solver:  shardSolver(*method),
+			Solver:  solverName,
 			RunID:   fmt.Sprintf("iltrun-%d", os.Getpid()),
 		})
 		if err != nil {
@@ -201,39 +238,42 @@ func main() {
 		}
 	}
 
+	// Flow dispatch only — the solver was resolved above, so this
+	// switch never names a solver.
 	var res *core.Result
 	switch *method {
 	case "ours":
 		res, err = core.MultigridSchwarz(cfg, clip.Target)
-	case "dc-multilevel":
-		cfg.Solver = opt.NewMultiLevel(sim)
-		res, err = core.DivideAndConquer(cfg, clip.Target)
-	case "dc-gls":
-		cfg.Solver = opt.NewLevelSet(sim)
+	case "dc-multilevel", "dc-gls":
 		res, err = core.DivideAndConquer(cfg, clip.Target)
 	case "fullchip":
-		ml := opt.NewMultiLevel(sim)
-		ml.Levels = 3
-		cfg.Solver = ml
 		res, err = core.FullChip(cfg, clip.Target)
 	case "heal":
-		cfg.Solver = opt.NewMultiLevel(sim)
 		res, err = core.StitchAndHeal(cfg, clip.Target)
-	default:
-		fmt.Fprintf(os.Stderr, "iltrun: unknown method %q\n", *method)
-		os.Exit(2)
 	}
 	if err != nil {
 		fatal(err)
 	}
 
 	fmt.Printf("method       : %s\n", res.Method)
+	fmt.Printf("solver       : %s\n", solverName)
 	fmt.Printf("clip         : %s (seed %d, %dx%d, area %d px)\n", clip.ID, clip.Seed, clipSize, clipSize, clip.AreaPx())
 	fmt.Printf("L2           : %.0f\n", res.L2)
 	fmt.Printf("PVBand       : %.0f\n", res.PVBand)
 	fmt.Printf("stitch loss  : %.1f over %d crossings (max %.1f)\n", res.StitchLoss, len(res.Errors), metrics.MaxLoss(res.Errors))
 	fmt.Printf("errors > %.0f : %d\n", cfg.StitchThreshold, metrics.CountAbove(res.Errors, cfg.StitchThreshold))
 	fmt.Printf("TAT          : %v (devices: %d, device busy: %v)\n", res.TAT.Round(1e6), *devices, res.Stats.TotalBusy.Round(1e6))
+	if *mrcCheck {
+		rep, err := mrc.Check(res.Mask.Binarize(0.5), mrc.DefaultRules())
+		if err != nil {
+			fatal(err)
+		}
+		if rep.Clean() {
+			fmt.Printf("mrc          : clean\n")
+		} else {
+			fmt.Printf("mrc          : %d violations\n", rep.Total())
+		}
+	}
 	if chaos {
 		fmt.Printf("chaos        : %d retries, %d device(s) quarantined (reproduce with -fault-seed %d -fault-rate %g -fault-hard %g)\n",
 			res.Stats.Retries, res.Stats.Quarantined, *faultSeed, *faultRate, *faultHard)

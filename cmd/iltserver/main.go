@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"mgsilt/internal/opt"
 	"mgsilt/internal/service"
 )
 
@@ -54,12 +55,16 @@ func main() {
 		batchWait = flag.Duration("batch-wait", 0, "max time a tile waits for batch peers (0 = scheduler default)")
 		stateDir  = flag.String("state-dir", "", "durable job-queue journal directory; pending jobs resume after a restart")
 		shardURLs = flag.String("shard-workers", "", "comma-separated iltworker base URLs; every job's tile solves shard across them (byte-identical to in-process)")
+		solverSel = flag.String("solver", "", "default solver backend for jobs that do not set solver: "+strings.Join(opt.Names(), " | "))
 		correct   = flag.Bool("coarse-correct", false, "default two-level Schwarz coarse correction for jobs that do not override coarse_correct")
 		dropTol   = flag.Float64("drop-tol", 0, "default per-tile convergence dropout tolerance for jobs that do not override drop_tol (0 disables)")
 		fidelity  = flag.String("fidelity", "", "default per-fine-stage kernel energy budgets for jobs that do not override fidelity_schedule, e.g. 0.9,1 (empty = full fidelity)")
 	)
 	flag.Parse()
 
+	if *solverSel != "" && !opt.Known(*solverSel) {
+		fatal(fmt.Errorf("%w %q (registered: %v)", opt.ErrUnknownSolver, *solverSel, opt.Names()))
+	}
 	var shardWorkers []string
 	if *shardURLs != "" {
 		shardWorkers = strings.Split(*shardURLs, ",")
@@ -90,6 +95,7 @@ func main() {
 		BatchWait:        *batchWait,
 		StateDir:         *stateDir,
 		ShardWorkers:     shardWorkers,
+		DefaultSolver:    *solverSel,
 		CoarseCorrect:    *correct,
 		DropTol:          *dropTol,
 		FidelitySchedule: fidSched,

@@ -63,6 +63,11 @@ type Env struct {
 	Scale Scale
 	Sim   *litho.Simulator
 	Clips []*layout.Clip
+	// Solver, when non-empty, is the opt registry name the "Ours"
+	// multigrid-Schwarz rows solve tiles with; empty keeps the default
+	// (pixel). Reference methods keep their paper-mandated solvers
+	// regardless.
+	Solver string
 }
 
 // NewEnv builds the optics and the clip suite for a scale.
@@ -98,14 +103,21 @@ func (e *Env) KernelProvenance() string {
 
 // BaseConfig returns the shared experiment configuration.
 func (e *Env) BaseConfig() core.Config {
-	return core.DefaultConfig(e.Sim, e.Scale.Clip, e.Scale.Iters)
+	cfg := core.DefaultConfig(e.Sim, e.Scale.Clip, e.Scale.Iters)
+	cfg.SolverName = e.Solver
+	return cfg
 }
 
 // fullChipSolver builds the paper's full-chip reference solver: the
 // Multi-level-ILT of [4] with enough pyramid levels to reach below the
-// native grid on the whole clip.
-func (e *Env) fullChipSolver() *opt.MultiLevel {
-	ml := opt.NewMultiLevel(e.Sim)
+// native grid on the whole clip. Resolved through the registry like
+// every other selection site, then deepened.
+func (e *Env) fullChipSolver() opt.Solver {
+	sv, err := opt.New("multilevel", e.Sim)
+	if err != nil {
+		panic(err) // a stock registry name cannot be missing
+	}
+	ml := sv.(*opt.MultiLevel)
 	levels := 2
 	for c := e.Scale.Clip; c > e.Scale.N; c /= 2 {
 		levels++
@@ -128,13 +140,13 @@ func (e *Env) Methods() []Method {
 		{Name: "GLS-ILT", Run: func(t *grid.Mat, cl *device.Cluster) (*core.Result, error) {
 			cfg := e.BaseConfig()
 			cfg.Cluster = cl
-			cfg.Solver = opt.NewLevelSet(e.Sim)
+			cfg.Solver, cfg.SolverName = nil, "levelset"
 			return core.DivideAndConquer(cfg, t)
 		}},
 		{Name: "Multi-level-ILT", Run: func(t *grid.Mat, cl *device.Cluster) (*core.Result, error) {
 			cfg := e.BaseConfig()
 			cfg.Cluster = cl
-			cfg.Solver = opt.NewMultiLevel(e.Sim)
+			cfg.Solver, cfg.SolverName = nil, "multilevel"
 			return core.DivideAndConquer(cfg, t)
 		}},
 		{Name: "Full-chip", Run: func(t *grid.Mat, cl *device.Cluster) (*core.Result, error) {

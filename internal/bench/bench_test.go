@@ -5,6 +5,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"mgsilt/internal/opt"
 )
 
 // tinyScale keeps harness tests fast: the mechanics are identical at
@@ -71,7 +73,7 @@ func TestMethodsOrder(t *testing.T) {
 
 func TestFullChipSolverLevels(t *testing.T) {
 	env := tinyEnv(t)
-	if lv := env.fullChipSolver().Levels; lv != 3 {
+	if lv := env.fullChipSolver().(*opt.MultiLevel).Levels; lv != 3 {
 		t.Fatalf("levels %d want 3 for clip=2N", lv)
 	}
 }

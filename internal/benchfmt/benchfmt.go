@@ -95,6 +95,13 @@ type Doc struct {
 	// comparable, so benchdiff treats any other mismatch as
 	// incomparable rather than as a regression.
 	ShardCount *int `json:"shard_count,omitempty"`
+	// Solver is the opt registry name the run's "Ours" flow rows solved
+	// tiles with (provenance, like Workers). Tri-state like ShardCount
+	// — nil means the producer predates the solver registry and is
+	// comparable only with a nil or "pixel" run; metrics measured with
+	// different solver backends are different experiments, so any other
+	// mismatch is incomparable rather than a regression.
+	Solver *string `json:"solver,omitempty"`
 	// IterationsToQuality is the scaling experiment's headline number:
 	// solver iterations the two-level (coarse-corrected) Schwarz flow
 	// needs to reach the fixed quality bar at the largest (8×8) tile
@@ -166,6 +173,9 @@ func (d *Doc) Validate() error {
 	}
 	if s := d.ShardCount; s != nil && *s < 1 {
 		return fmt.Errorf("benchfmt: shard_count %d must be >= 1", *s)
+	}
+	if s := d.Solver; s != nil && *s == "" {
+		return fmt.Errorf("benchfmt: solver present but empty (omit the field for the default)")
 	}
 	if q := d.IterationsToQuality; q != nil && (math.IsNaN(*q) || math.IsInf(*q, 0) || *q < 0) {
 		return fmt.Errorf("benchfmt: invalid iterations_to_quality %v", *q)
@@ -341,6 +351,17 @@ func Compare(base, cur *Doc, opts CompareOptions) (*Result, error) {
 	}
 	if shardOf(base) != shardOf(cur) {
 		return nil, incomparable("shard_count", shardOf(base), shardOf(cur))
+	}
+	// Solver provenance: tri-state, so a nil (pre-registry) document is
+	// equivalent to the default "pixel" backend.
+	solverOf := func(d *Doc) string {
+		if d.Solver == nil {
+			return "pixel"
+		}
+		return *d.Solver
+	}
+	if solverOf(base) != solverOf(cur) {
+		return nil, incomparable("solver", solverOf(base), solverOf(cur))
 	}
 	// Fidelity-schedule provenance: tri-state like shard_count — nil,
 	// empty and all-ones schedules are all "full fidelity" and mutually

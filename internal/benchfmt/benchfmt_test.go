@@ -1,6 +1,7 @@
 package benchfmt
 
 import (
+	"encoding/json"
 	"math"
 	"os"
 	"path/filepath"
@@ -386,6 +387,78 @@ func TestCompareShardCountProvenance(t *testing.T) {
 		base.ShardCount, cur.ShardCount = tc.base, tc.cur
 		if _, err := Compare(base, cur, CompareOptions{}); err == nil {
 			t.Errorf("%s: incomparable shard counts accepted", tc.name)
+		}
+	}
+}
+
+func solverPtr(v string) *string { return &v }
+
+func TestValidateRejectsEmptySolver(t *testing.T) {
+	d := sample()
+	d.Solver = solverPtr("")
+	if err := d.Validate(); err == nil {
+		t.Fatal("empty solver accepted")
+	}
+	d.Solver = solverPtr("admm")
+	if err := d.Validate(); err != nil {
+		t.Fatalf("solver=admm rejected: %v", err)
+	}
+}
+
+func TestParseSolverRoundTrip(t *testing.T) {
+	d := sample()
+	d.Solver = solverPtr("curvy")
+	raw, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Solver == nil || *got.Solver != "curvy" {
+		t.Fatalf("solver round-trip = %v", got.Solver)
+	}
+	if _, err := Parse([]byte(`{"solver":""}`)); err == nil {
+		t.Fatal("Parse accepted an empty solver field")
+	}
+}
+
+// TestCompareSolverProvenance covers the tri-state solver gate: an
+// absent field means the run predates the solver registry and is
+// equivalent to the default "pixel" backend, so pre-registry baselines
+// stay comparable with default runs; any true mismatch is incomparable
+// provenance, never a regression.
+func TestCompareSolverProvenance(t *testing.T) {
+	compat := []struct {
+		name      string
+		base, cur *string
+	}{
+		{"nil-nil", nil, nil},
+		{"nil-pixel", nil, solverPtr("pixel")},
+		{"pixel-nil", solverPtr("pixel"), nil},
+		{"admm-admm", solverPtr("admm"), solverPtr("admm")},
+	}
+	for _, tc := range compat {
+		base, cur := sample(), sample()
+		base.Solver, cur.Solver = tc.base, tc.cur
+		if _, err := Compare(base, cur, CompareOptions{}); err != nil {
+			t.Errorf("%s: comparable runs rejected: %v", tc.name, err)
+		}
+	}
+	mismatch := []struct {
+		name      string
+		base, cur *string
+	}{
+		{"pixel-admm", solverPtr("pixel"), solverPtr("admm")},
+		{"nil-curvy", nil, solverPtr("curvy")},
+		{"levelset-nil", solverPtr("levelset"), nil},
+	}
+	for _, tc := range mismatch {
+		base, cur := sample(), sample()
+		base.Solver, cur.Solver = tc.base, tc.cur
+		if _, err := Compare(base, cur, CompareOptions{}); err == nil {
+			t.Errorf("%s: incomparable solvers accepted", tc.name)
 		}
 	}
 }

@@ -55,6 +55,7 @@ func FuzzParseTrajectory(f *testing.F) {
 	f.Add([]byte(`{"scale":"small","n":64,"clip":128,"calib_ns":1,"experiments":[{"experiment":"table1","headers":["a"],"rows":[["1"]]}]}`))
 	f.Add([]byte(`{"experiments":[{"experiment":"t","methods":[{"name":"m","metrics":{"L2":1e308,"TATSec":0.5}}]}]}`))
 	f.Add([]byte(`{"fidelity_schedule":[0.9,0.95,1],"experiments":[]}`))
+	f.Add([]byte(`{"solver":"admm","shard_count":1,"experiments":[{"experiment":"solvers","headers":["Solver","L2"],"rows":[["admm","1200"]]}]}`))
 	f.Add([]byte(`[1,2,3]`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d, err := Parse(data)

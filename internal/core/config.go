@@ -40,8 +40,16 @@ import (
 // Config describes one experiment setup: the optics, the solver φ(·),
 // the tiling geometry and the iteration schedule of Section 4.
 type Config struct {
-	Sim     *litho.Simulator
-	Solver  opt.Solver      // φ(·); nil → opt.NewPixel(Sim)
+	Sim    *litho.Simulator
+	Solver opt.Solver // φ(·); overrides SolverName when non-nil
+
+	// SolverName selects φ(·) by opt registry name ("pixel", "admm",
+	// …) when Solver is nil; empty means opt.DefaultSolver. This is
+	// the string that flag values, service JobSpecs and shard wire
+	// sessions thread down to the flows — Validate rejects names the
+	// registry does not know.
+	SolverName string
+
 	Cluster *device.Cluster // nil → single device, unlimited memory
 
 	// TileCache, when non-nil, short-circuits fine-grid tile solves
@@ -288,6 +296,9 @@ func (c *Config) Validate() error {
 	if c.Sim == nil {
 		return fmt.Errorf("core: Sim is required")
 	}
+	if c.Solver == nil && c.SolverName != "" && !opt.Known(c.SolverName) {
+		return fmt.Errorf("core: %w %q (registered: %v)", opt.ErrUnknownSolver, c.SolverName, opt.Names())
+	}
 	n := c.Sim.N()
 	if c.ClipSize < n || c.ClipSize%n != 0 || !fft.IsPow2(c.ClipSize/n) {
 		return fmt.Errorf("core: clip %d is not a power-of-two multiple of N=%d", c.ClipSize, n)
@@ -374,6 +385,13 @@ func (c *Config) coarseCorrectScale() int {
 func (c *Config) solver() opt.Solver {
 	if c.Solver != nil {
 		return c.Solver
+	}
+	if c.SolverName != "" {
+		if sv, err := opt.New(c.SolverName, c.Sim); err == nil {
+			return sv
+		}
+		// Unknown names are caught by Validate; flows that skip
+		// validation fall through to the default below.
 	}
 	return opt.NewPixel(c.Sim)
 }

@@ -116,6 +116,7 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		{name: "negative refine LR", mutate: func(c *Config) { c.RefineLR = -1 }},
 		{name: "heal band zero", mutate: func(c *Config) { c.HealBand = 0 }},
 		{name: "heal band too wide", mutate: func(c *Config) { c.HealBand = 32 }},
+		{name: "unknown solver name", mutate: func(c *Config) { c.SolverName = "quantum" }, want: opt.ErrUnknownSolver},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -129,6 +130,28 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 				t.Fatalf("error %v does not match sentinel %v", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestSolverResolution pins the three-way precedence of the solver
+// seam: an explicit Solver instance wins, then the registry name, then
+// the pixel default.
+func TestSolverResolution(t *testing.T) {
+	sim := testSim(t)
+	cfg := DefaultConfig(sim, testClip, 10)
+	if got := cfg.solver().Name(); got != "pixel-ilt" {
+		t.Fatalf("default solver = %q", got)
+	}
+	cfg.SolverName = "levelset"
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.solver().Name(); got != "gls-ilt" {
+		t.Fatalf("named solver = %q", got)
+	}
+	cfg.Solver = identitySolver{}
+	if got := cfg.solver().Name(); got != "identity" {
+		t.Fatalf("instance override = %q", got)
 	}
 }
 

@@ -14,20 +14,23 @@ import (
 // .Fingerprint) — and feeds the tile-result cache key: equal
 // fingerprints plus equal optics plus equal tile inputs imply
 // bit-equal results. Solvers that do not implement it are simply not
-// cached or batched.
+// cached or batched. Fingerprints are prefixed with the backend's
+// registry name, so cache keys and the scheduler's compatibility
+// classes carry solver provenance in the same vocabulary as flags,
+// wire sessions, and JobSpecs.
 type Fingerprinter interface {
 	Fingerprint() string
 }
 
 // Fingerprint implements Fingerprinter.
 func (s *Pixel) Fingerprint() string {
-	return fmt.Sprintf("pixel-ilt:slope=%g,final=%g,bias=%g,warmup=%d,smooth=%g",
+	return fmt.Sprintf("pixel:slope=%g,final=%g,bias=%g,warmup=%d,smooth=%g",
 		s.Slope, s.FinalSlope, s.BackgroundBias, s.WarmupIters, s.SmoothWeight)
 }
 
 // Fingerprint implements Fingerprinter.
 func (s *LevelSet) Fingerprint() string {
-	return fmt.Sprintf("gls-ilt:eps=%g,curv=%g,reinit=%d", s.Epsilon, s.Curvature, s.ReinitEvery)
+	return fmt.Sprintf("levelset:eps=%g,curv=%g,reinit=%d", s.Epsilon, s.Curvature, s.ReinitEvery)
 }
 
 // Fingerprint implements Fingerprinter.
@@ -36,8 +39,23 @@ func (s *MultiLevel) Fingerprint() string {
 	if s.Pixel != nil {
 		inner = s.Pixel.Fingerprint()
 	}
-	return fmt.Sprintf("multi-level-ilt:levels=%d,coarse=%g,clean=%d,pixel=(%s)",
+	return fmt.Sprintf("multilevel:levels=%d,coarse=%g,clean=%d,pixel=(%s)",
 		s.Levels, s.CoarseFrac, s.CleanRadius, inner)
+}
+
+// Fingerprint implements Fingerprinter.
+func (s *ADMM) Fingerprint() string {
+	return fmt.Sprintf("admm:rho=%g,binary=%g,warmup=%d", s.Rho, s.Binary, s.WarmupIters)
+}
+
+// Fingerprint implements Fingerprinter.
+func (s *Curvy) Fingerprint() string {
+	inner := "default"
+	if s.Pixel != nil {
+		inner = s.Pixel.Fingerprint()
+	}
+	return fmt.Sprintf("curvy:curv=%g,rules=(w=%d,s=%d,a=%d),legalize=%d,pixel=(%s)",
+		s.CurvWeight, s.Rules.MinWidth, s.Rules.MinSpace, s.Rules.MinArea, s.MaxLegalize, inner)
 }
 
 // BatchSolver is a Solver that can optimise several tiles in lockstep,

@@ -47,11 +47,23 @@ func NewPixel(sim *litho.Simulator) *Pixel {
 	return &Pixel{Sim: sim, Slope: 4, FinalSlope: 12, BackgroundBias: 0.08, WarmupIters: 6, SmoothWeight: 0.2}
 }
 
+func init() {
+	Register("pixel", func(sim *litho.Simulator) Solver { return NewPixel(sim) })
+}
+
 // Name implements Solver.
 func (s *Pixel) Name() string { return "pixel-ilt" }
 
 // Solve implements Solver.
 func (s *Pixel) Solve(target, init *grid.Mat, p Params) (*grid.Mat, error) {
+	return s.solve(target, init, p, nil)
+}
+
+// solve is the shared descent loop behind Pixel and Curvy. extraGrad,
+// when non-nil, may accumulate additional ∂loss/∂M terms into gm after
+// the smoothness regulariser and before the sigmoid chain rule; a nil
+// hook leaves the loop byte-for-byte the historical Pixel solve.
+func (s *Pixel) solve(target, init *grid.Mat, p Params, extraGrad func(gm, mask *grid.Mat)) (*grid.Mat, error) {
 	if err := p.validateFor(init); err != nil {
 		return nil, err
 	}
@@ -91,6 +103,9 @@ func (s *Pixel) Solve(target, init *grid.Mat, p Params) (*grid.Mat, error) {
 		_, gm := sharedLossGrad(s.Sim, mask, target, p)
 		if s.SmoothWeight > 0 {
 			addLaplacian(gm, mask, s.SmoothWeight)
+		}
+		if extraGrad != nil {
+			extraGrad(gm, mask)
 		}
 		for i := range dTheta {
 			m := mask.Data[i]

@@ -79,7 +79,9 @@ type JobSpec struct {
 	// (divide-and-conquer), "fullchip", "heal" (stitch-and-heal) or
 	// "select" (overlap-select).
 	Flow string `json:"flow"`
-	// Solver selects φ(·): "pixel" (default), "levelset", "multilevel".
+	// Solver selects φ(·) by opt registry name — opt.Names() is the
+	// accepted vocabulary (admm, curvy, levelset, multilevel, pixel);
+	// empty means the server's default solver (normally "pixel").
 	Solver string `json:"solver,omitempty"`
 	// N is the native simulator grid (power of two; default 64).
 	N int `json:"n,omitempty"`
@@ -234,6 +236,10 @@ type Options struct {
 	// monopolise the pool.
 	MaxN     int
 	MaxIters int
+	// DefaultSolver is the opt registry name substituted for JobSpecs
+	// that leave Solver empty (default opt.DefaultSolver). Must be a
+	// registered name.
+	DefaultSolver string
 	// ComputeWorkers, when positive, sets the process-wide
 	// internal/parallel pool width that every flow's FFT/convolution
 	// hot path draws from (kernel-level fan-out inside each tile
@@ -321,6 +327,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxIters <= 0 {
 		o.MaxIters = 10000
+	}
+	if o.DefaultSolver == "" {
+		o.DefaultSolver = opt.DefaultSolver
 	}
 	return o
 }
@@ -502,10 +511,11 @@ func (s *Server) normalize(spec *JobSpec) error {
 	default:
 		return fmt.Errorf("service: unknown flow %q", spec.Flow)
 	}
-	switch spec.Solver {
-	case "", "pixel", "levelset", "multilevel":
-	default:
-		return fmt.Errorf("service: unknown solver %q", spec.Solver)
+	if spec.Solver == "" {
+		spec.Solver = s.opts.DefaultSolver
+	}
+	if spec.Solver != "" && !opt.Known(spec.Solver) {
+		return fmt.Errorf("service: unknown solver %q (registered: %v)", spec.Solver, opt.Names())
 	}
 	if spec.N == 0 {
 		spec.N = 64
@@ -857,7 +867,7 @@ func (s *Server) execute(ctx context.Context, spec JobSpec, cl *device.Cluster, 
 	if len(s.opts.ShardWorkers) > 0 {
 		solver := spec.Solver
 		if solver == "" {
-			solver = "pixel"
+			solver = opt.DefaultSolver
 		}
 		coord, err := shard.NewCoordinator(shard.Config{
 			Workers: s.opts.ShardWorkers,
@@ -889,12 +899,7 @@ func (s *Server) execute(ctx context.Context, spec JobSpec, cl *device.Cluster, 
 	// checkpoints and resumes uniformly.
 	cfg.Checkpoint = onCheckpoint
 	cfg.Resume = resume
-	switch spec.Solver {
-	case "levelset":
-		cfg.Solver = opt.NewLevelSet(sim)
-	case "multilevel":
-		cfg.Solver = opt.NewMultiLevel(sim)
-	}
+	cfg.SolverName = spec.Solver
 	if spec.CoarseScale != nil {
 		cfg.CoarseScale = *spec.CoarseScale
 	}

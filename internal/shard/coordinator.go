@@ -15,6 +15,7 @@ import (
 	"mgsilt/internal/device"
 	"mgsilt/internal/fault"
 	"mgsilt/internal/grid"
+	"mgsilt/internal/opt"
 )
 
 // Config configures a Coordinator.
@@ -25,9 +26,9 @@ type Config struct {
 	// N is the native simulator grid the workers must build optics
 	// for; it must match the flow's simulator.
 	N int
-	// Solver selects φ(·) by name on the workers: "pixel" (default),
-	// "levelset" or "multilevel". It must match the flow's solver or
-	// the distributed result diverges from the in-process one.
+	// Solver selects φ(·) by opt registry name on the workers (empty
+	// defaults to opt.DefaultSolver). It must match the flow's solver
+	// or the distributed result diverges from the in-process one.
 	Solver string
 	// Client is the HTTP client; nil builds one with sane timeouts.
 	Client *http.Client
@@ -128,10 +129,8 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	if cfg.N < 1 {
 		return nil, fmt.Errorf("shard: bad simulator grid %d", cfg.N)
 	}
-	switch cfg.Solver {
-	case "", "pixel", "levelset", "multilevel":
-	default:
-		return nil, fmt.Errorf("shard: unknown solver %q", cfg.Solver)
+	if cfg.Solver != "" && !opt.Known(cfg.Solver) {
+		return nil, fmt.Errorf("shard: unknown solver %q (registered: %v)", cfg.Solver, opt.Names())
 	}
 	if cfg.RunID == "" {
 		cfg.RunID = "run"
@@ -477,7 +476,7 @@ func (c *Coordinator) encodeShard(w *workerState, reqs []core.TileRequest, poss 
 	defer c.mu.Unlock()
 	solver := c.cfg.Solver
 	if solver == "" {
-		solver = "pixel"
+		solver = opt.DefaultSolver
 	}
 	wreq = &SolveRequest{
 		Session: fmt.Sprintf("%s-e%d", c.cfg.RunID, w.epoch),

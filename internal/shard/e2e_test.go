@@ -3,6 +3,7 @@ package shard
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -380,13 +381,15 @@ func TestCoordinatorValidation(t *testing.T) {
 
 func TestSolverForRegistry(t *testing.T) {
 	sim := e2eSim(t)
-	for _, name := range []string{"", "pixel", "levelset", "multilevel"} {
+	// Every registered backend — including future additions — must be
+	// constructible wire-side, plus the empty-name default.
+	for _, name := range append([]string{""}, opt.Names()...) {
 		s, err := solverFor(name, sim)
 		if err != nil || s == nil {
 			t.Fatalf("solverFor(%q) = %v, %v", name, s, err)
 		}
 	}
-	if _, err := solverFor("quantum", sim); err == nil {
-		t.Fatal("solverFor must reject unknown solver names")
+	if _, err := solverFor("quantum", sim); !errors.Is(err, opt.ErrUnknownSolver) {
+		t.Fatalf("solverFor(quantum) error %v does not wrap opt.ErrUnknownSolver", err)
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"mgsilt/internal/grid"
+	"mgsilt/internal/opt"
 	"mgsilt/internal/pipeline"
 )
 
@@ -98,8 +99,8 @@ type SolveRequest struct {
 	Session string
 	// N is the native simulator grid the worker must build optics for.
 	N int
-	// Solver selects φ(·) by name: "pixel" (default), "levelset" or
-	// "multilevel".
+	// Solver selects φ(·) by opt registry name (opt.Names lists them);
+	// empty defaults to opt.DefaultSolver.
 	Solver string
 	Tiles  []TileWire
 }
@@ -246,17 +247,15 @@ func WriteSolveRequest(w io.Writer, req *SolveRequest) error {
 	if req.N < 1 {
 		return fmt.Errorf("shard: bad simulator grid %d", req.N)
 	}
-	switch req.Solver {
-	case "", "pixel", "levelset", "multilevel":
-	default:
-		return fmt.Errorf("shard: unknown solver %q", req.Solver)
+	if req.Solver != "" && !opt.Known(req.Solver) {
+		return fmt.Errorf("shard: unknown solver %q (registered: %v)", req.Solver, opt.Names())
 	}
 	if len(req.Tiles) == 0 || len(req.Tiles) > MaxWireTiles {
 		return fmt.Errorf("shard: %d tiles out of [1, %d]", len(req.Tiles), MaxWireTiles)
 	}
 	solver := req.Solver
 	if solver == "" {
-		solver = "pixel"
+		solver = opt.DefaultSolver
 	}
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "%s\nrequest solve\nsession %s\nn %d\nsolver %s\ntiles %d\n",
@@ -458,12 +457,10 @@ func ReadSolveRequest(rd io.Reader) (*SolveRequest, error) {
 	if len(f) != 1 {
 		return nil, fmt.Errorf("shard: bad solver line")
 	}
-	switch f[0] {
-	case "pixel", "levelset", "multilevel":
-		req.Solver = f[0]
-	default:
+	if !opt.Known(f[0]) {
 		return nil, fmt.Errorf("shard: unknown solver %q", f[0])
 	}
+	req.Solver = f[0]
 	if f, err = r.fields("tiles"); err != nil {
 		return nil, err
 	}

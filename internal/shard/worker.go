@@ -138,18 +138,18 @@ func (w *Worker) simulator(n int) (*litho.Simulator, error) {
 	return sim, nil
 }
 
-// solverFor builds φ(·) by wire name, mirroring the job service's
-// solver registry.
+// solverFor builds φ(·) by wire name through the opt registry — the
+// same resolution every other selection layer uses, so coordinator
+// and worker can never disagree on the name vocabulary.
 func solverFor(name string, sim *litho.Simulator) (opt.Solver, error) {
-	switch name {
-	case "", "pixel":
-		return opt.NewPixel(sim), nil
-	case "levelset":
-		return opt.NewLevelSet(sim), nil
-	case "multilevel":
-		return opt.NewMultiLevel(sim), nil
+	if name == "" {
+		name = opt.DefaultSolver
 	}
-	return nil, fmt.Errorf("shard: unknown solver %q", name)
+	sv, err := opt.New(name, sim)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	return sv, nil
 }
 
 // errStaleSession marks a request referencing cached state this worker
